@@ -1,0 +1,47 @@
+"""ABL-PFAIL — pWCET sensitivity to the cell failure probability.
+
+The paper fixes pfail = 1e-4 as "representative of the highest assumed
+probability of cell failure in related work".  This ablation sweeps
+pfail over four decades on a category-diverse subset and checks the
+expected monotone behaviour; at the roadmap's low end the protection
+mechanisms stop mattering.
+"""
+
+import pytest
+
+from repro.experiments.ablations import format_sweep, pfail_sweep
+
+PFAILS = (1e-3, 1e-4, 1e-5, 1e-6)
+SUBSET = ("nsichneu", "fibcall", "ud", "adpcm")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return pfail_sweep(pfails=PFAILS, benchmarks=SUBSET)
+
+
+def test_pfail_sweep_compute(benchmark):
+    """Time one sweep point (pipeline at non-default pfail)."""
+    result = benchmark.pedantic(
+        lambda: pfail_sweep(pfails=(3e-5,), benchmarks=("fibcall",)),
+        rounds=2, iterations=1)
+    assert len(result) == 1
+
+
+def test_pfail_sweep_table(benchmark, sweep, emit):
+    text = benchmark.pedantic(lambda: format_sweep(sweep),
+                              rounds=1, iterations=1)
+    emit("ablation_pfail_sweep", text)
+    by_benchmark: dict = {}
+    for point in sweep:
+        by_benchmark.setdefault(point.benchmark, []).append(point)
+    for benchmark_name, points in by_benchmark.items():
+        ordered = sorted(points, key=lambda p: p.value)
+        # pWCET grows with pfail; the fault-free WCET does not move.
+        pwcets = [p.pwcet_none for p in ordered]
+        assert pwcets == sorted(pwcets)
+        assert len({p.wcet_fault_free for p in ordered}) == 1
+        # At every point the mechanism ordering holds.
+        for point in points:
+            assert (point.wcet_fault_free <= point.pwcet_rw
+                    <= point.pwcet_srb <= point.pwcet_none)

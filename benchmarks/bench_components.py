@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the pipeline's computational kernels.
+
+Not a paper artefact — engineering numbers for the substrate: cache
+analysis fixpoints, the concrete simulator, the MILP solver and the
+penalty convolution, measured on representative inputs.
+"""
+
+import random
+
+import numpy as np
+
+from repro.analysis import CacheAnalysis, MustAnalysis
+from repro.cache import CacheGeometry, LRUCache
+from repro.cfg import PathWalker
+from repro.ipet import TimingModel, compute_wcet
+from repro.pwcet import DiscreteDistribution
+from repro.suite import load
+
+GEOMETRY = CacheGeometry.from_size(1024, 4, 16)
+
+
+def test_must_analysis_fixpoint(benchmark):
+    """Must analysis over the biggest benchmark (nsichneu)."""
+    compiled = load("nsichneu")
+    result = benchmark(lambda: MustAnalysis(compiled.cfg, GEOMETRY))
+    assert result.assoc == 4
+
+
+def test_full_classification(benchmark):
+    """All CHMC tables (assoc 4..0) for a mid-size benchmark."""
+    compiled = load("crc")
+
+    def classify():
+        analysis = CacheAnalysis(compiled.cfg, GEOMETRY)
+        return [analysis.classification(assoc) for assoc in range(5)]
+
+    tables = benchmark(classify)
+    assert len(tables) == 5
+
+
+def test_ipet_wcet_solve(benchmark):
+    """The fault-free IPET MILP for adpcm."""
+    compiled = load("adpcm")
+    analysis = CacheAnalysis(compiled.cfg, GEOMETRY)
+    table = analysis.classification()
+    timing = TimingModel()
+    result = benchmark(
+        lambda: compute_wcet(compiled.cfg, table, timing).cycles)
+    assert result > 0
+
+
+def test_concrete_simulation(benchmark):
+    """Replay a maximised path of matmult on the LRU simulator."""
+    compiled = load("matmult")
+    walker = PathWalker(compiled.cfg)
+    walk = walker.walk(random.Random(3), maximize_iterations=True)
+
+    def simulate():
+        cache = LRUCache(GEOMETRY)
+        return cache.run_trace(
+            GEOMETRY.block_of(address) for address in walk.addresses)
+
+    hits, misses = benchmark(simulate)
+    assert hits + misses == len(walk.addresses)
+
+
+def test_penalty_convolution(benchmark):
+    """Convolving 16 per-set penalty distributions (paper Fig 1.b)."""
+    rng = np.random.default_rng(1)
+    per_set = []
+    for _ in range(16):
+        penalties = sorted(rng.integers(0, 2000, size=4))
+        points = {0: 0.95, int(penalties[1]): 0.049,
+                  int(penalties[2]): 0.00099,
+                  int(penalties[3]): 1e-5}
+        total = sum(points.values())
+        per_set.append(DiscreteDistribution.from_points(
+            {value: probability / total
+             for value, probability in points.items()}))
+    combined = benchmark(
+        lambda: DiscreteDistribution.convolve_all(per_set))
+    assert abs(combined.total_mass - 1.0) < 1e-9
+
+
+def test_deep_tail_quantile(benchmark):
+    """CCDF + quantile extraction on a large penalty grid."""
+    rng = np.random.default_rng(2)
+    pmf = rng.random(200_000)
+    pmf /= pmf.sum()
+    distribution = DiscreteDistribution(pmf)
+    value = benchmark(lambda: distribution.quantile_exceedance(1e-15))
+    assert 0 <= value <= distribution.support_max

@@ -1,0 +1,39 @@
+"""FIG1 — the fault-miss-map walkthrough (paper Figure 1).
+
+Regenerates the FMM table and the per-set penalty convolution of the
+didactic example, benchmarking the FMM computation (one IPET-like ILP
+per set and fault count).
+"""
+
+from repro.analysis import CacheAnalysis
+from repro.cache import CacheGeometry
+from repro.experiments.fig1 import compute_fig1, example_program, format_fig1
+from repro.fmm import compute_fault_miss_map
+from repro.reliability import NoProtection
+
+
+def test_fig1_fmm_computation(benchmark):
+    """Time the FMM ILP batch for the example program."""
+    compiled = example_program()
+    geometry = CacheGeometry(sets=4, ways=2, block_bytes=16)
+    analysis = CacheAnalysis(compiled.cfg, geometry)
+
+    def compute():
+        return compute_fault_miss_map(analysis, NoProtection())
+
+    fmm = benchmark(compute)
+    assert fmm.max_fault_count == 2
+
+
+def test_fig1_walkthrough(benchmark, emit):
+    """Regenerate both halves of Figure 1 and check their invariants."""
+    data = benchmark.pedantic(compute_fig1, rounds=1, iterations=1)
+    emit("fig1_fmm_walkthrough", format_fig1(data))
+    # Per-set distributions have at most W+1 = 3 support points.
+    for distribution in data.per_set:
+        support = (distribution.pmf > 0).sum()
+        assert support <= 3
+    # Convolution preserves probability mass (paper Figure 1.b).
+    assert abs(data.combined.total_mass - 1.0) < 1e-9
+    assert (data.combined.support_max
+            == data.fmm.total_worst_misses())

@@ -1,0 +1,41 @@
+"""FIG3 — exceedance curves for adpcm (no protection vs SRB vs RW).
+
+Regenerates the series behind the paper's Figure 3 and checks its
+shape: the three curves are ordered (RW <= SRB <= none) at every
+probability level and all start at the fault-free WCET.  The
+benchmarked unit is the exceedance-curve construction (penalty
+convolution across the 16 sets plus CCDF extraction).
+"""
+
+from repro.experiments.fig3 import (FIG3_MECHANISMS, exceedance_curves,
+                                    format_fig3)
+from repro.experiments.runner import run_benchmark
+
+
+def test_fig3_curve_construction(benchmark):
+    """Time the penalty-distribution + curve computation for adpcm."""
+    result = run_benchmark("adpcm")  # cached across the session
+
+    def build_curves():
+        return {name: result.estimates[name].exceedance_curve()
+                for name in FIG3_MECHANISMS}
+
+    curves = benchmark(build_curves)
+    assert set(curves) == set(FIG3_MECHANISMS)
+
+
+def test_fig3_series(benchmark, emit):
+    """Regenerate the Figure 3 series and verify the curve shapes."""
+    text = benchmark.pedantic(format_fig3, rounds=1, iterations=1)
+    emit("fig3_adpcm_exceedance", text)
+    curves = exceedance_curves()
+    result = run_benchmark("adpcm")
+    for name in FIG3_MECHANISMS:
+        assert curves[name].values[0] == result.wcet_fault_free
+    for probability in (1e-2, 1e-5, 1e-8, 1e-11, 1e-15):
+        rw = curves["rw"].pwcet(probability)
+        srb = curves["srb"].pwcet(probability)
+        none = curves["none"].pwcet(probability)
+        assert rw <= srb <= none
+    # At the paper's target the separation is strict for adpcm.
+    assert curves["rw"].pwcet(1e-15) < curves["none"].pwcet(1e-15)

@@ -1,0 +1,45 @@
+"""FIG4 — the 25-benchmark pWCET survey (the paper's headline result).
+
+Regenerates Figure 4: pWCET at exceedance 1e-15 for fault-free / SRB /
+RW, normalised to no protection, the four behaviour categories, and
+the in-text gain statistics (paper: SRB avg 40% min 25%, RW avg 48%
+min 26%).  The benchmarked unit is the full pipeline of one mid-size
+benchmark (crc: 3 mechanisms, ~50 ILPs).
+"""
+
+import pytest
+
+from repro.experiments import format_fig4, gain_summary
+from repro.pwcet import EstimatorConfig, PWCETEstimator
+from repro.suite import load
+
+
+def full_pipeline(name: str = "crc") -> int:
+    estimator = PWCETEstimator(load(name), EstimatorConfig(), name=name)
+    return sum(estimator.estimate(mechanism).pwcet()
+               for mechanism in ("none", "srb", "rw"))
+
+
+def test_fig4_single_benchmark_pipeline(benchmark):
+    """Time one benchmark's complete three-mechanism estimation."""
+    result = benchmark.pedantic(full_pipeline, rounds=3, iterations=1)
+    assert result > 0
+
+
+def test_fig4_table(benchmark, suite_rows, emit):
+    """Regenerate and check the Figure 4 table for all 25 benchmarks."""
+    text = benchmark.pedantic(lambda: format_fig4(suite_rows),
+                              rounds=1, iterations=1)
+    emit("fig4_pwcet_survey", text)
+    assert len(suite_rows) == 25
+    # The paper's qualitative claims must hold.
+    for row in suite_rows:
+        assert row.wcet_fault_free <= row.pwcet_rw
+        assert row.pwcet_rw <= row.pwcet_srb <= row.pwcet_none
+    summary = gain_summary(suite_rows)
+    # Both mechanisms help substantially on average (paper: 40%/48%),
+    # and the RW dominates the SRB.
+    assert summary.average_gain_srb >= 0.25
+    assert summary.average_gain_rw >= summary.average_gain_srb
+    # All four behaviour categories are populated, as in Figure 4.
+    assert {row.category.value for row in suite_rows} == {1, 2, 3, 4}

@@ -1,0 +1,45 @@
+"""EXT-COST — the pWCET/cost trade-off (paper §I, conclusion §VI).
+
+The paper motivates RW and SRB as two points on a cost/benefit curve
+and defers the area/power analysis to future work; this harness
+produces that analysis with the analytical SRAM model of
+:mod:`repro.hwcost` — pWCET gain against hardened-cell area and
+leakage overheads, plus the designer's figure of merit (gain per area
+point), where the SRB's economy shows.
+"""
+
+import pytest
+
+from repro.hwcost import MechanismCostModel, tradeoff_points
+from repro.hwcost.tradeoff import format_tradeoff
+from repro.pwcet import EstimatorConfig
+from repro.reliability import MECHANISMS
+
+SUBSET = ("fibcall", "bsort100", "ud", "adpcm", "nsichneu")
+
+
+@pytest.fixture(scope="module")
+def points():
+    return tradeoff_points(SUBSET)
+
+
+def test_cost_model_compute(benchmark):
+    model = MechanismCostModel(EstimatorConfig().geometry)
+    costs = benchmark(lambda: [model.cost_of(m) for m in MECHANISMS])
+    assert len(costs) == 3
+
+
+def test_tradeoff_table(benchmark, points, emit):
+    text = benchmark.pedantic(lambda: format_tradeoff(points),
+                              rounds=1, iterations=1)
+    emit("extension_cost_tradeoff", text)
+    by_key = {(p.benchmark, p.mechanism): p for p in points}
+    for name in SUBSET:
+        srb = by_key[(name, "srb")]
+        rw = by_key[(name, "rw")]
+        # Hardware costs are program independent...
+        assert srb.area_overhead < rw.area_overhead
+        # ...while the RW's gain dominates per benchmark (paper §IV-B).
+        assert rw.gain >= srb.gain - 1e-12
+        # The SRB extracts more gain per unit of silicon.
+        assert srb.gain_per_area_point >= rw.gain_per_area_point

@@ -1,0 +1,35 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every harness module both *benchmarks* a representative unit of work
+(via pytest-benchmark) and *prints* the paper artefact it regenerates
+(the rows/series of the corresponding table or figure).  The printed
+artefacts are also written to ``benchmarks/results/`` so they survive
+output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a paper artefact and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def suite_rows():
+    """Figure 4 data for the whole 25-benchmark suite (computed once)."""
+    from repro.experiments import fig4_rows
+    return fig4_rows()

@@ -1,0 +1,51 @@
+"""Quickstart: estimate the pWCET of a small program.
+
+Builds a MiniC program, compiles it with the bundled gcc--O0-style
+toolchain, and runs the paper's full pipeline for the three hardware
+configurations (no protection, SRB, RW) on the paper's cache setup
+(1 KB, 4-way, 16 B lines, pfail = 1e-4).
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (Compute, EstimatorConfig, Function, If, Loop, Program,
+                   PWCETEstimator, compile_program)
+
+
+def main() -> None:
+    # A toy task: setup, a hot loop with a data-dependent branch, and a
+    # cool-down phase.  Loop(100, ...) bounds the loop at 100 iterations
+    # (the MiniC equivalent of a WCET flow-fact annotation).
+    program = Program([
+        Function("main", [
+            Compute(12, "initialise buffers"),
+            Loop(100, [
+                Compute(18, "filter stage"),
+                If([Compute(10, "saturate")], [Compute(6, "pass-through")]),
+            ]),
+            Compute(8, "write results"),
+        ]),
+    ], name="quickstart")
+
+    compiled = compile_program(program)
+    print(f"compiled: {compiled.cfg} / {compiled.code_size_bytes()} bytes")
+
+    estimator = PWCETEstimator(compiled, EstimatorConfig())
+    print(f"fault-free WCET: {estimator.fault_free_wcet()} cycles")
+    print(f"{'mechanism':>10s} {'pWCET@1e-15':>12s} {'vs fault-free':>14s}")
+    for mechanism in ("none", "srb", "rw"):
+        estimate = estimator.estimate(mechanism)
+        pwcet = estimate.pwcet()  # paper target: 1e-15 per activation
+        ratio = pwcet / estimator.fault_free_wcet()
+        print(f"{mechanism:>10s} {pwcet:12d} {ratio:13.2f}x")
+
+    # The exceedance curve behind the headline number:
+    curve = estimator.estimate("none").exceedance_curve()
+    print("\nexceedance curve (no protection), selected points:")
+    for probability in (1e-3, 1e-6, 1e-9, 1e-12, 1e-15):
+        print(f"  P(WCET > {curve.pwcet(probability):7d}) "
+              f"<= {probability:.0e}")
+
+
+if __name__ == "__main__":
+    main()

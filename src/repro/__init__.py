@@ -1,0 +1,74 @@
+"""repro — fault-aware probabilistic WCET estimation.
+
+A from-scratch reproduction of *"Probabilistic WCET estimation in
+presence of hardware for mitigating the impact of permanent faults"*
+(Hardy, Puaut, Sazeides — DATE 2016), including every substrate the
+paper depends on: a MIPS-like toolchain, abstract-interpretation cache
+analysis, IPET via integer linear programming, the fault-miss-map
+machinery of Hardy & Puaut 2015, and the RW / SRB reliability
+mechanisms with their analyses.
+
+Quickstart::
+
+    from repro import (Program, Function, Compute, Loop, compile_program,
+                       PWCETEstimator)
+
+    program = Program([Function("main", [Loop(100, [Compute(24)])])])
+    estimator = PWCETEstimator(compile_program(program))
+    estimate = estimator.estimate("rw")
+    print(estimate.pwcet(1e-15))
+"""
+
+from repro.analysis import CacheAnalysis, Chmc, Classification
+from repro.cache import CacheGeometry, FaultMap, LRUCache
+from repro.cfg import CFG, PathWalker, find_loops
+from repro.faults import FaultProbabilityModel, sample_fault_maps
+from repro.fmm import FaultMissMap, compute_fault_miss_map
+from repro.ipet import TimingModel, compute_wcet
+from repro.minic import (Call, CompiledProgram, Compute, Function, If, Loop,
+                         Program, compile_program)
+from repro.pwcet import (DiscreteDistribution, EstimatorConfig,
+                         ExceedanceCurve, PWCETEstimate, PWCETEstimator)
+from repro.pwcet.estimator import TARGET_EXCEEDANCE
+from repro.reliability import (MECHANISMS, NoProtection, ReliableWay,
+                               SharedReliableBuffer, mechanism_by_name)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheAnalysis",
+    "Chmc",
+    "Classification",
+    "CacheGeometry",
+    "FaultMap",
+    "LRUCache",
+    "CFG",
+    "PathWalker",
+    "find_loops",
+    "FaultProbabilityModel",
+    "sample_fault_maps",
+    "FaultMissMap",
+    "compute_fault_miss_map",
+    "TimingModel",
+    "compute_wcet",
+    "Call",
+    "CompiledProgram",
+    "Compute",
+    "Function",
+    "If",
+    "Loop",
+    "Program",
+    "compile_program",
+    "DiscreteDistribution",
+    "EstimatorConfig",
+    "ExceedanceCurve",
+    "PWCETEstimate",
+    "PWCETEstimator",
+    "TARGET_EXCEEDANCE",
+    "MECHANISMS",
+    "NoProtection",
+    "ReliableWay",
+    "SharedReliableBuffer",
+    "mechanism_by_name",
+    "__version__",
+]

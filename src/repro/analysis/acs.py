@@ -1,0 +1,117 @@
+"""Abstract cache states (ACS) for the Must and May analyses.
+
+A per-set abstract state maps memory-block numbers to abstract LRU
+ages in ``[0, associativity)``:
+
+* Must: the age is an **upper bound** of the concrete age on every
+  path — a block present in the state is guaranteed cached;
+* May: the age is a **lower bound** — a block absent from the state is
+  guaranteed *not* cached.
+
+The update and join functions below are the classic definitions of
+Ferdinand & Wilhelm, specialised to LRU.  Whole-cache states are plain
+dicts ``set_index -> {block: age}`` so the (completely independent)
+sets can be copied lazily.
+"""
+
+from __future__ import annotations
+
+#: Per-set abstract state: memory block -> abstract age.
+SetState = dict[int, int]
+#: Whole-cache abstract state: set index -> per-set state.  Sets with
+#: no tracked block are omitted.
+CacheState = dict[int, SetState]
+
+
+# ----------------------------------------------------------------------
+# Must analysis (ages are upper bounds; join = intersection with max)
+# ----------------------------------------------------------------------
+def must_update(state: SetState, block: int, assoc: int) -> SetState:
+    """Access ``block`` in a Must per-set state of ``assoc`` ways.
+
+    The accessed block moves to age 0.  Blocks whose upper-bound age
+    was younger than the accessed block's old bound may be pushed down
+    one position; blocks at or below it are unaffected (LRU).  Blocks
+    reaching age >= assoc are no longer guaranteed cached and drop out.
+    """
+    if assoc <= 0:
+        return {}
+    old_age = state.get(block, assoc)  # absent = may come from memory
+    new_state: SetState = {block: 0}
+    for other, age in state.items():
+        if other == block:
+            continue
+        new_age = age + 1 if age < old_age else age
+        if new_age < assoc:
+            new_state[other] = new_age
+    return new_state
+
+
+def must_join(left: SetState, right: SetState) -> SetState:
+    """Join of two Must states: blocks guaranteed in both, oldest age."""
+    if not left or not right:
+        return {}
+    if len(right) < len(left):
+        left, right = right, left
+    return {block: max(age, right[block])
+            for block, age in left.items() if block in right}
+
+
+# ----------------------------------------------------------------------
+# May analysis (ages are lower bounds; join = union with min)
+# ----------------------------------------------------------------------
+def may_update(state: SetState, block: int, assoc: int) -> SetState:
+    """Access ``block`` in a May per-set state of ``assoc`` ways.
+
+    The accessed block gets age 0.  Another block can keep its
+    lower-bound age only if the accessed block may have been at least
+    as young (then nothing below it ages); otherwise its lower bound
+    increases.  Blocks whose lower bound reaches assoc are evicted on
+    every path and drop out.
+    """
+    if assoc <= 0:
+        return {}
+    old_age = state.get(block)
+    new_state: SetState = {block: 0}
+    for other, age in state.items():
+        if other == block:
+            continue
+        if old_age is not None and old_age <= age:
+            new_age = age
+        else:
+            new_age = age + 1
+        if new_age < assoc:
+            new_state[other] = new_age
+    return new_state
+
+
+def may_join(left: SetState, right: SetState) -> SetState:
+    """Join of two May states: union of blocks, youngest age."""
+    if not left:
+        return dict(right)
+    if not right:
+        return dict(left)
+    joined = dict(left)
+    for block, age in right.items():
+        existing = joined.get(block)
+        if existing is None or age < existing:
+            joined[block] = age
+    return joined
+
+
+# ----------------------------------------------------------------------
+# Whole-cache helpers
+# ----------------------------------------------------------------------
+def cache_state_equal(left: CacheState, right: CacheState) -> bool:
+    """Equality that ignores empty per-set entries."""
+    keys = set(left) | set(right)
+    for key in keys:
+        if left.get(key, {}) != right.get(key, {}):
+            return False
+    return True
+
+
+def copy_cache_state(state: CacheState) -> CacheState:
+    """Shallow-ish copy: per-set dicts are copied, ages are immutable."""
+    return {set_index: dict(set_state)
+            for set_index, set_state in state.items()}

@@ -1,0 +1,62 @@
+"""Cache Hit/Miss Classifications (CHMC)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Chmc(enum.Enum):
+    """Worst-case cache behaviour of one reference (paper §II-B1)."""
+
+    #: Guaranteed hit on every execution (Must analysis).
+    ALWAYS_HIT = "always-hit"
+    #: At most one miss per entry of its persistence scope.
+    FIRST_MISS = "first-miss"
+    #: Guaranteed miss on every execution (May analysis).
+    ALWAYS_MISS = "always-miss"
+    #: None of the above; treated as always-miss in WCET computation,
+    #: exactly as in the paper's experimental setup (§IV-A).
+    NOT_CLASSIFIED = "not-classified"
+
+
+#: Sentinel scope meaning "persistent over the whole program": the
+#: reference misses at most once per task activation.
+GLOBAL_SCOPE = -1
+
+
+@dataclass(frozen=True)
+class Classification:
+    """CHMC plus, for first-miss, the persistence scope.
+
+    ``scope`` is the loop header block id of the outermost loop in
+    which the reference is persistent, or :data:`GLOBAL_SCOPE` when it
+    is persistent across the whole program.  ``None`` for non-FM
+    classifications.
+    """
+
+    chmc: Chmc
+    scope: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.chmc is Chmc.FIRST_MISS) != (self.scope is not None):
+            raise ValueError(
+                "scope must be given exactly for FIRST_MISS "
+                f"(got {self.chmc} with scope {self.scope})")
+
+    @property
+    def counts_full_misses(self) -> bool:
+        """True when every execution is counted as a miss in IPET."""
+        return self.chmc in (Chmc.ALWAYS_MISS, Chmc.NOT_CLASSIFIED)
+
+    def __str__(self) -> str:
+        if self.chmc is Chmc.FIRST_MISS:
+            where = "global" if self.scope == GLOBAL_SCOPE else f"L{self.scope}"
+            return f"first-miss({where})"
+        return self.chmc.value
+
+
+#: Shared singletons for the scope-less classifications.
+ALWAYS_HIT = Classification(Chmc.ALWAYS_HIT)
+ALWAYS_MISS = Classification(Chmc.ALWAYS_MISS)
+NOT_CLASSIFIED = Classification(Chmc.NOT_CLASSIFIED)

@@ -1,0 +1,133 @@
+"""CHMC classification: the facade combining Must, May and Persistence.
+
+:class:`CacheAnalysis` runs the three analyses at any requested
+associativity (memoised — the fault-aware pipeline needs every value
+from ``W`` down to ``0``) and produces a :class:`ClassificationTable`
+mapping every reference to its CHMC, with the priority of the paper:
+always-hit beats first-miss beats always-miss beats not-classified.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.chmc import (ALWAYS_HIT, ALWAYS_MISS, NOT_CLASSIFIED,
+                                 Chmc, Classification)
+from repro.analysis.may import MayAnalysis
+from repro.analysis.must import MustAnalysis
+from repro.analysis.persistence import PersistenceAnalysis
+from repro.analysis.references import Reference, all_references
+from repro.cache import CacheGeometry
+from repro.cfg import CFG, LoopForest, find_loops
+from repro.errors import AnalysisError
+
+
+class ClassificationTable:
+    """Per-reference classifications at one associativity."""
+
+    def __init__(self, assoc: int,
+                 table: dict[int, tuple[Classification, ...]],
+                 references: dict[int, tuple[Reference, ...]]) -> None:
+        self.assoc = assoc
+        self._table = table
+        self._references = references
+
+    def of_block(self, block_id: int) -> tuple[Classification, ...]:
+        return self._table[block_id]
+
+    def of(self, block_id: int, index: int) -> Classification:
+        return self._table[block_id][index]
+
+    def references(self, block_id: int) -> tuple[Reference, ...]:
+        return self._references[block_id]
+
+    def items(self):
+        """Yield (reference, classification) over the whole program."""
+        for block_id, classifications in self._table.items():
+            for reference, classification in zip(
+                    self._references[block_id], classifications):
+                yield reference, classification
+
+    def count_by_chmc(self) -> dict[str, int]:
+        """Histogram of classifications (for reports and tests)."""
+        histogram: dict[str, int] = {}
+        for _reference, classification in self.items():
+            key = classification.chmc.value
+            histogram[key] = histogram.get(key, 0) + 1
+        return histogram
+
+
+class CacheAnalysis:
+    """Runs and memoises the cache analyses of one (CFG, geometry) pair."""
+
+    def __init__(self, cfg: CFG, geometry: CacheGeometry,
+                 forest: LoopForest | None = None) -> None:
+        cfg.validate()
+        self._cfg = cfg
+        self._geometry = geometry
+        self._forest = forest if forest is not None else find_loops(cfg)
+        self._references = all_references(cfg, geometry)
+        self._persistence = PersistenceAnalysis(cfg, geometry, self._forest)
+        self._tables: dict[int, ClassificationTable] = {}
+
+    @property
+    def cfg(self) -> CFG:
+        return self._cfg
+
+    @property
+    def geometry(self) -> CacheGeometry:
+        return self._geometry
+
+    @property
+    def forest(self) -> LoopForest:
+        return self._forest
+
+    @property
+    def persistence(self) -> PersistenceAnalysis:
+        return self._persistence
+
+    def classification(self, assoc: int | None = None) -> ClassificationTable:
+        """Classification table at ``assoc`` working ways per set.
+
+        ``assoc=None`` means the nominal (fault-free) associativity.
+        By LRU set independence, the entry of a reference to set ``s``
+        in the table for ``assoc = W - f`` is its classification when
+        set ``s`` has ``f`` faulty ways — regardless of other sets.
+        """
+        if assoc is None:
+            assoc = self._geometry.ways
+        if assoc < 0 or assoc > self._geometry.ways:
+            raise AnalysisError(
+                f"associativity {assoc} out of range "
+                f"[0, {self._geometry.ways}]")
+        if assoc not in self._tables:
+            self._tables[assoc] = self._classify(assoc)
+        return self._tables[assoc]
+
+    def _classify(self, assoc: int) -> ClassificationTable:
+        if assoc == 0:
+            table = {
+                block_id: tuple(ALWAYS_MISS for _ in references)
+                for block_id, references in self._references.items()
+            }
+            return ClassificationTable(assoc, table, self._references)
+
+        must = MustAnalysis(self._cfg, self._geometry, assoc)
+        may = MayAnalysis(self._cfg, self._geometry, assoc)
+        table: dict[int, tuple[Classification, ...]] = {}
+        for block_id, references in self._references.items():
+            hits = must.guaranteed_hits(block_id)
+            cached = may.possibly_cached(block_id)
+            classifications = []
+            for reference, hit, may_hit in zip(references, hits, cached):
+                if hit:
+                    classifications.append(ALWAYS_HIT)
+                    continue
+                scope = self._persistence.scope_of(reference, assoc)
+                if scope is not None:
+                    classifications.append(
+                        Classification(chmc=Chmc.FIRST_MISS, scope=scope))
+                elif not may_hit:
+                    classifications.append(ALWAYS_MISS)
+                else:
+                    classifications.append(NOT_CLASSIFIED)
+            table[block_id] = tuple(classifications)
+        return ClassificationTable(assoc, table, self._references)

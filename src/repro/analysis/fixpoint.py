@@ -1,0 +1,94 @@
+"""Generic worklist fixpoint solver over a CFG.
+
+Both the Must and May analyses instantiate this solver with their own
+join/transfer; the solver itself only knows about block-level dataflow:
+
+* ``in[entry] = initial``
+* ``in[b] = join of out[p] for computed predecessors p``
+* ``out[b] = transfer(b, in[b])``
+
+The iteration is optimistic (uncomputed predecessor states are skipped
+— they are the join identity); at convergence every predecessor has a
+computed state, so the result is a genuine fixpoint and the usual
+abstract-interpretation soundness argument applies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from typing import TypeVar
+
+from repro.cfg import CFG
+from repro.errors import AnalysisError
+
+State = TypeVar("State")
+
+#: Safety valve against non-monotone transfer bugs.
+_MAX_VISITS_PER_BLOCK = 10_000
+
+
+def solve(cfg: CFG, *, initial: State,
+          join: Callable[[State, State], State],
+          transfer: Callable[[int, State], State],
+          equal: Callable[[State, State], bool]) -> dict[int, State]:
+    """Run the fixpoint; return the IN state of every block.
+
+    The OUT states can be recomputed by applying ``transfer`` once more
+    — callers that need per-instruction states replay the transfer
+    inside the block anyway, so only IN states are kept.
+    """
+    order = cfg.reverse_postorder()
+    position = {block_id: rank for rank, block_id in enumerate(order)}
+    in_states: dict[int, State] = {}
+    out_states: dict[int, State] = {}
+    visits: dict[int, int] = {}
+
+    worklist: deque[int] = deque(order)
+    queued = set(order)
+    while worklist:
+        block_id = worklist.popleft()
+        queued.discard(block_id)
+        visits[block_id] = visits.get(block_id, 0) + 1
+        if visits[block_id] > _MAX_VISITS_PER_BLOCK:
+            raise AnalysisError(
+                f"fixpoint did not converge at block {block_id} "
+                f"(>{_MAX_VISITS_PER_BLOCK} visits)")
+
+        state = _in_state(cfg, block_id, initial, join, out_states)
+        in_states[block_id] = state
+        new_out = transfer(block_id, state)
+        old_out = out_states.get(block_id)
+        if old_out is not None and equal(old_out, new_out):
+            continue
+        out_states[block_id] = new_out
+        for successor in sorted(cfg.successors(block_id),
+                                key=position.__getitem__):
+            if successor not in queued:
+                worklist.append(successor)
+                queued.add(successor)
+
+    # One final pass so IN states reflect the converged OUT states of
+    # *all* predecessors (including back edges processed afterwards).
+    for block_id in order:
+        in_states[block_id] = _in_state(cfg, block_id, initial, join,
+                                        out_states)
+    return in_states
+
+
+def _in_state(cfg: CFG, block_id: int, initial: State,
+              join: Callable[[State, State], State],
+              out_states: dict[int, State]) -> State:
+    if block_id == cfg.entry_id:
+        return initial
+    state: State | None = None
+    for predecessor in cfg.predecessors(block_id):
+        predecessor_out = out_states.get(predecessor)
+        if predecessor_out is None:
+            continue
+        state = (predecessor_out if state is None
+                 else join(state, predecessor_out))
+    if state is None:
+        raise AnalysisError(
+            f"block {block_id} has no computed predecessor (unreachable?)")
+    return state

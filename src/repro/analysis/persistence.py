@@ -1,0 +1,86 @@
+"""Persistence analysis: first-miss classification by conflict counting.
+
+A memory block is *persistent* in a scope (a loop, or the whole
+program) if it can never be evicted once loaded during that scope.
+With LRU this is guaranteed when the number of distinct memory blocks
+mapping to its set that are accessed anywhere inside the scope does not
+exceed the set's associativity — the block's age can then never reach
+the eviction bound.  This conflict-counting criterion is coarser than
+age-tracking persistence but unconditionally sound (it avoids the known
+unsoundness of the original ACS-based persistence update), and it is
+naturally parameterised by the degraded associativity.
+
+A reference persistent in scope ``L`` is classified first-miss with at
+most one miss per entry into ``L``; we always report the *outermost*
+scope in which the reference is persistent (fewest entries, tightest
+bound).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.chmc import GLOBAL_SCOPE
+from repro.analysis.references import Reference, all_references
+from repro.cache import CacheGeometry
+from repro.cfg import CFG, LoopForest, find_loops
+
+
+class PersistenceAnalysis:
+    """Pre-computes per-scope conflict counts; answers scope queries."""
+
+    def __init__(self, cfg: CFG, geometry: CacheGeometry,
+                 forest: LoopForest | None = None) -> None:
+        self._cfg = cfg
+        self._geometry = geometry
+        self._forest = forest if forest is not None else find_loops(cfg)
+        references = all_references(cfg, geometry)
+
+        def distinct_blocks(block_ids) -> dict[int, set[int]]:
+            per_set: dict[int, set[int]] = {}
+            for block_id in block_ids:
+                for reference in references[block_id]:
+                    per_set.setdefault(reference.set_index,
+                                       set()).add(reference.memory_block)
+            return per_set
+
+        #: set index -> #distinct memory blocks over the whole program.
+        self._global_conflicts = {
+            set_index: len(blocks)
+            for set_index, blocks in distinct_blocks(cfg.block_ids()).items()
+        }
+        #: loop header -> set index -> #distinct memory blocks in body.
+        self._loop_conflicts = {
+            header: {set_index: len(blocks)
+                     for set_index, blocks
+                     in distinct_blocks(loop.body).items()}
+            for header, loop in self._forest.loops.items()
+        }
+
+    @property
+    def forest(self) -> LoopForest:
+        return self._forest
+
+    def global_conflicts(self, set_index: int) -> int:
+        """Distinct blocks competing for ``set_index`` program-wide."""
+        return self._global_conflicts.get(set_index, 0)
+
+    def loop_conflicts(self, header: int, set_index: int) -> int:
+        """Distinct blocks competing for ``set_index`` inside a loop."""
+        return self._loop_conflicts[header].get(set_index, 0)
+
+    def scope_of(self, reference: Reference, assoc: int) -> int | None:
+        """Outermost persistence scope of ``reference`` at ``assoc``.
+
+        Returns :data:`GLOBAL_SCOPE`, a loop header id, or ``None``
+        when the reference is persistent nowhere.
+        """
+        if assoc <= 0:
+            return None
+        if self._global_conflicts.get(reference.set_index, 0) <= assoc:
+            return GLOBAL_SCOPE
+        chain = self._forest.loops_containing(reference.block_id)
+        for loop in reversed(chain):  # outermost first
+            conflicts = self._loop_conflicts[loop.header].get(
+                reference.set_index, 0)
+            if conflicts <= assoc:
+                return loop.header
+        return None

@@ -1,0 +1,52 @@
+"""Memory references: the unit the cache analysis classifies.
+
+Every instruction fetch is a reference to the memory block containing
+the instruction.  A reference is identified by its position in the
+CFG — (block id, index within block) — because virtual inlining means
+the same address can appear in several contexts with different
+classifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache import CacheGeometry
+from repro.cfg import CFG
+
+
+@dataclass(frozen=True)
+class Reference:
+    """One instruction fetch at a specific CFG position."""
+
+    block_id: int
+    index: int
+    address: int
+    memory_block: int
+    set_index: int
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """CFG position: (block id, instruction index)."""
+        return (self.block_id, self.index)
+
+
+def block_references(cfg: CFG, geometry: CacheGeometry,
+                     block_id: int) -> tuple[Reference, ...]:
+    """The references issued by one basic block, in fetch order."""
+    block = cfg.block(block_id)
+    references = []
+    for index, instruction in enumerate(block.instructions):
+        memory_block = geometry.block_of(instruction.address)
+        references.append(Reference(
+            block_id=block_id, index=index, address=instruction.address,
+            memory_block=memory_block,
+            set_index=geometry.set_of_block(memory_block)))
+    return tuple(references)
+
+
+def all_references(cfg: CFG,
+                   geometry: CacheGeometry) -> dict[int, tuple[Reference, ...]]:
+    """References of every block, keyed by block id."""
+    return {block_id: block_references(cfg, geometry, block_id)
+            for block_id in cfg.block_ids()}

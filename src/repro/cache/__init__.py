@@ -1,0 +1,13 @@
+"""Instruction-cache model: geometry, concrete LRU simulation, faults.
+
+The paper's architecture is a single-level set-associative instruction
+cache with LRU replacement, defined by a number of sets ``S``, ways
+``W`` and a block size ``K`` (the paper states K in bits; here we use
+bytes and convert where the fault model needs bits).
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.lru import LRUCache, LRUSet
+from repro.cache.faultmap import FaultMap
+
+__all__ = ["CacheGeometry", "LRUCache", "LRUSet", "FaultMap"]

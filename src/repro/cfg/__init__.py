@@ -1,0 +1,24 @@
+"""Control-flow graphs and loop structure.
+
+The static analyses operate on a program-level CFG obtained by
+*virtual inlining*: every function body is duplicated per call context
+(so the analysis is context sensitive) while instruction addresses are
+shared (so the cache sees one copy of the code, as in the real binary).
+"""
+
+from repro.cfg.basic_block import BasicBlock
+from repro.cfg.graph import CFG, Edge
+from repro.cfg.loops import Loop, LoopForest, compute_dominators, find_loops
+from repro.cfg.walker import PathWalker, WalkResult
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "Edge",
+    "Loop",
+    "LoopForest",
+    "compute_dominators",
+    "find_loops",
+    "PathWalker",
+    "WalkResult",
+]

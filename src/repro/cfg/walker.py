@@ -1,0 +1,157 @@
+"""Random generation of structurally feasible execution paths.
+
+IPET bounds the execution time of every *structurally feasible* path:
+a path from entry to exit that respects the loop bounds.  The walker
+below samples such paths, which gives the validation harness concrete
+executions to replay on the faulty-cache simulator — if the analysis
+ever under-estimated one of these paths, it would be unsound.
+
+The walker assumes the structured loops produced by the MiniC compiler
+(and mirrored by hand-built test CFGs): every loop is natural, is
+entered only through its header, and its header has at least one
+successor outside the loop body.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cfg.graph import CFG
+from repro.cfg.loops import LoopForest, find_loops
+from repro.errors import SimulationError
+
+#: Safety valve: maximum path length before the walker gives up.
+_MAX_STEPS = 5_000_000
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """A sampled structurally feasible path."""
+
+    block_ids: tuple[int, ...]
+    #: Fetch addresses of the whole path, in execution order.
+    addresses: tuple[int, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.block_ids)
+
+
+class PathWalker:
+    """Samples structurally feasible paths of a CFG.
+
+    Parameters
+    ----------
+    cfg:
+        A validated CFG.
+    forest:
+        Pre-computed loop forest; computed on demand when omitted.
+    """
+
+    def __init__(self, cfg: CFG, forest: LoopForest | None = None) -> None:
+        cfg.validate()
+        self._cfg = cfg
+        self._forest = forest if forest is not None else find_loops(cfg)
+
+    @property
+    def cfg(self) -> CFG:
+        return self._cfg
+
+    def walk(self, rng: random.Random, *,
+             maximize_iterations: bool = False) -> WalkResult:
+        """Sample one path from entry to exit.
+
+        With ``maximize_iterations`` every loop runs to its bound and
+        the walk still picks branches at random — useful for producing
+        long (closer to worst-case) but still feasible paths.
+        """
+        cfg, forest = self._cfg, self._forest
+        loops = forest.loops
+        remaining: dict[int, int] = {}
+        block_ids: list[int] = []
+        addresses: list[int] = []
+
+        current = cfg.entry_id
+        steps = 0
+        while True:
+            steps += 1
+            if steps > _MAX_STEPS:
+                raise SimulationError(
+                    f"path exceeded {_MAX_STEPS} blocks; check loop bounds")
+            block_ids.append(current)
+            addresses.extend(cfg.block(current).addresses)
+            if current in loops:
+                # Executing a loop header consumes one header execution.
+                if current not in remaining:
+                    raise SimulationError(
+                        f"reached header {current} without entering its "
+                        "loop (irreducible or unstructured CFG)")
+                remaining[current] -= 1
+            if current == cfg.exit_id:
+                break
+            current = self._choose_successor(current, remaining, rng,
+                                             maximize_iterations)
+        return WalkResult(block_ids=tuple(block_ids),
+                          addresses=tuple(addresses))
+
+    # ------------------------------------------------------------------
+    def _choose_successor(self, current: int, remaining: dict[int, int],
+                          rng: random.Random,
+                          maximize_iterations: bool) -> int:
+        cfg, forest = self._cfg, self._forest
+        loops = forest.loops
+        options = []
+        for succ in cfg.successors(current):
+            if not self._edge_allowed(current, succ, remaining):
+                continue
+            options.append(succ)
+        if not options:
+            raise SimulationError(
+                f"walker stuck at block {current} (no feasible successor)")
+
+        if maximize_iterations and current in loops:
+            # Prefer staying in the loop while iterations remain.
+            body = loops[current].body
+            staying = [succ for succ in options if succ in body]
+            if staying and remaining.get(current, 0) > 0:
+                options = staying
+            elif remaining.get(current, 0) == 0:
+                options = [succ for succ in options if succ not in body]
+
+        choice = options[0] if len(options) == 1 else rng.choice(options)
+        self._account_loop_transitions(current, choice, remaining, rng,
+                                       maximize_iterations)
+        return choice
+
+    def _edge_allowed(self, src: int, dst: int,
+                      remaining: dict[int, int]) -> bool:
+        """Is traversing (src, dst) consistent with the loop budgets?"""
+        forest = self._forest
+        loops = forest.loops
+        # Leaving via an edge that re-enters some header must have
+        # budget for one more header execution.
+        if dst in loops and src in loops[dst].body:
+            if remaining.get(dst, 0) <= 0:
+                return False
+        # A header whose budget ran out must leave its own loop.
+        if src in loops and remaining.get(src, 0) <= 0:
+            if dst in loops[src].body:
+                return False
+        return True
+
+    def _account_loop_transitions(self, src: int, dst: int,
+                                  remaining: dict[int, int],
+                                  rng: random.Random,
+                                  maximize_iterations: bool) -> None:
+        """Sample budgets on loop entry; drop budgets on loop exit."""
+        forest = self._forest
+        loops = forest.loops
+        if dst in loops and src not in loops[dst].body:
+            bound = loops[dst].bound
+            budget = bound if maximize_iterations else rng.randint(1, bound)
+            remaining[dst] = budget
+        # Exiting a loop invalidates its budget (re-entry resamples).
+        for header, loop in loops.items():
+            if src in loop.body and dst not in loop.body:
+                remaining.pop(header, None)

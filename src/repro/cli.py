@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``estimate``   pWCET of one suite benchmark for chosen mechanisms.
+``suite``      the Figure 4 survey over all 25 benchmarks.
+``curve``      exceedance series (Figure 3) for one benchmark.
+``fmm``        print a benchmark's fault miss map (Figure 1.a style).
+``tradeoff``   pWCET gain vs hardware cost (the §I trade-off).
+``list``       list the available benchmarks with size metadata.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.pwcet import EstimatorConfig, PWCETEstimator
+from repro.pwcet.estimator import TARGET_EXCEEDANCE
+from repro.suite import EVALUATED_BENCHMARKS, info, load
+
+_MECHANISM_CHOICES = ("none", "srb", "rw", "srb+")
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pfail", type=float, default=1e-4,
+                        help="SRAM cell failure probability "
+                             "(default 1e-4, the paper's value)")
+    parser.add_argument("--probability", type=float,
+                        default=TARGET_EXCEEDANCE,
+                        help="target exceedance probability "
+                             "(default 1e-15)")
+    parser.add_argument("--relaxed", action="store_true",
+                        help="solve LP relaxations (sound, faster)")
+
+
+def _config_from(arguments: argparse.Namespace) -> EstimatorConfig:
+    return EstimatorConfig(pfail=arguments.pfail,
+                           relaxed=arguments.relaxed)
+
+
+def _estimator_for(name: str,
+                   arguments: argparse.Namespace) -> PWCETEstimator:
+    if name not in EVALUATED_BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {name!r}; "
+                         "see `python -m repro list`")
+    return PWCETEstimator(load(name), _config_from(arguments), name=name)
+
+
+def _command_estimate(arguments: argparse.Namespace) -> int:
+    estimator = _estimator_for(arguments.benchmark, arguments)
+    print(f"benchmark {arguments.benchmark}: "
+          f"fault-free WCET {estimator.fault_free_wcet()} cycles")
+    for mechanism in arguments.mechanisms:
+        estimate = estimator.estimate(mechanism)
+        try:
+            value = estimate.pwcet(arguments.probability)
+        except Exception as error:  # refined analyses may refuse deep tails
+            print(f"  {mechanism:>5s}: unavailable ({error})")
+            continue
+        print(f"  {mechanism:>5s}: pWCET@{arguments.probability:.0e} "
+              f"= {value} cycles")
+    return 0
+
+
+def _command_suite(arguments: argparse.Namespace) -> int:
+    from repro.experiments import fig4_rows, format_fig4
+    rows = fig4_rows(_config_from(arguments),
+                     target_probability=arguments.probability)
+    print(format_fig4(rows))
+    return 0
+
+
+def _command_curve(arguments: argparse.Namespace) -> int:
+    estimator = _estimator_for(arguments.benchmark, arguments)
+    for mechanism in arguments.mechanisms:
+        curve = estimator.estimate(mechanism).exceedance_curve()
+        print(f"# {arguments.benchmark} / {mechanism}")
+        for value, probability in curve.rows()[:arguments.max_points]:
+            print(f"{value} {probability:.6e}")
+    return 0
+
+
+def _command_fmm(arguments: argparse.Namespace) -> int:
+    estimator = _estimator_for(arguments.benchmark, arguments)
+    fmm = estimator.fault_miss_map(arguments.mechanisms[0])
+    print(fmm.format_table())
+    return 0
+
+
+def _command_tradeoff(arguments: argparse.Namespace) -> int:
+    from repro.hwcost.tradeoff import format_tradeoff, tradeoff_points
+    benchmarks = tuple(arguments.benchmark or ("fibcall", "ud", "adpcm"))
+    points = tradeoff_points(benchmarks, _config_from(arguments),
+                             probability=arguments.probability)
+    print(format_tradeoff(points))
+    return 0
+
+
+def _command_list(_arguments: argparse.Namespace) -> int:
+    print(f"{'benchmark':14s} {'bytes':>7s} {'instrs':>7s}  description")
+    for name in EVALUATED_BENCHMARKS:
+        metadata = info(name)
+        print(f"{name:14s} {metadata.code_bytes:7d} "
+              f"{metadata.instruction_count:7d}  {metadata.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-aware probabilistic WCET estimation "
+                    "(Hardy, Puaut & Sazeides, DATE 2016)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    estimate = commands.add_parser(
+        "estimate", help="pWCET of one benchmark")
+    estimate.add_argument("benchmark")
+    estimate.add_argument("--mechanisms", nargs="+",
+                          choices=_MECHANISM_CHOICES,
+                          default=["none", "srb", "rw"])
+    _add_config_arguments(estimate)
+    estimate.set_defaults(handler=_command_estimate)
+
+    suite = commands.add_parser(
+        "suite", help="the Figure 4 survey over all 25 benchmarks")
+    _add_config_arguments(suite)
+    suite.set_defaults(handler=_command_suite)
+
+    curve = commands.add_parser(
+        "curve", help="exceedance series (Figure 3) for one benchmark")
+    curve.add_argument("benchmark")
+    curve.add_argument("--mechanisms", nargs="+",
+                       choices=_MECHANISM_CHOICES,
+                       default=["none", "srb", "rw"])
+    curve.add_argument("--max-points", type=int, default=50)
+    _add_config_arguments(curve)
+    curve.set_defaults(handler=_command_curve)
+
+    fmm = commands.add_parser(
+        "fmm", help="fault miss map of one benchmark")
+    fmm.add_argument("benchmark")
+    fmm.add_argument("--mechanisms", nargs=1,
+                     choices=_MECHANISM_CHOICES, default=["none"])
+    _add_config_arguments(fmm)
+    fmm.set_defaults(handler=_command_fmm)
+
+    tradeoff = commands.add_parser(
+        "tradeoff", help="pWCET gain vs hardware cost")
+    tradeoff.add_argument("benchmark", nargs="*")
+    _add_config_arguments(tradeoff)
+    tradeoff.set_defaults(handler=_command_tradeoff)
+
+    listing = commands.add_parser("list", help="available benchmarks")
+    listing.set_defaults(handler=_command_list)
+
+    report = commands.add_parser(
+        "report", help="full reproduction report (all artefacts)")
+    report.add_argument("--output", default=None,
+                        help="write the markdown report to a file")
+    _add_config_arguments(report)
+    report.set_defaults(handler=_command_report)
+    return parser
+
+
+def _command_report(arguments: argparse.Namespace) -> int:
+    from repro.experiments.report import full_report
+    text = full_report(_config_from(arguments))
+    if arguments.output:
+        with open(arguments.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {arguments.output}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

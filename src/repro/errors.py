@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was built with inconsistent or unsupported parameters.
+
+    Examples: a cache whose size is not a power of two, a negative
+    latency, an exceedance probability outside ``(0, 1)``.
+    """
+
+
+class CompilationError(ReproError):
+    """The MiniC compiler rejected a program (e.g. unknown callee)."""
+
+
+class RecursionUnsupportedError(CompilationError):
+    """Virtual inlining met a recursive call chain.
+
+    Static WCET analysis in the reproduced toolchain (Heptane) requires
+    bounded, non-recursive call graphs; we reject recursion explicitly
+    instead of looping forever.
+    """
+
+
+class CFGStructureError(ReproError):
+    """A control-flow graph violates a structural requirement.
+
+    Examples: unreachable blocks, a back edge without a loop bound,
+    an exit block with successors.
+    """
+
+
+class AnalysisError(ReproError):
+    """A static analysis failed to reach a sound result."""
+
+
+class SolverError(ReproError):
+    """The ILP backend failed (infeasible model, solver error status)."""
+
+
+class DistributionError(ReproError):
+    """A probability distribution operation received invalid input."""
+
+
+class SimulationError(ReproError):
+    """The concrete simulator was driven with inconsistent state."""
+
+
+class EstimationError(ReproError):
+    """End-to-end pWCET estimation could not be completed."""

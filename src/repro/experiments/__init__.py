@@ -1,0 +1,38 @@
+"""Experiment drivers regenerating the paper's figures and statistics.
+
+One module per evaluation artefact (see DESIGN.md §3):
+
+* :mod:`repro.experiments.fig1` — the FMM / convolution walkthrough;
+* :mod:`repro.experiments.fig3` — adpcm exceedance curves;
+* :mod:`repro.experiments.fig4` — the 25-benchmark survey, category
+  classification and gain statistics;
+* :mod:`repro.experiments.ablations` — pfail sweep, geometry sweep,
+  ILP-vs-LP-relaxation comparison.
+"""
+
+from repro.experiments.runner import BenchmarkResult, run_benchmark, run_suite
+from repro.experiments.fig3 import exceedance_curves, format_fig3
+from repro.experiments.fig4 import (
+    Category,
+    Fig4Row,
+    GainSummary,
+    classify_category,
+    fig4_rows,
+    format_fig4,
+    gain_summary,
+)
+
+__all__ = [
+    "BenchmarkResult",
+    "run_benchmark",
+    "run_suite",
+    "exceedance_curves",
+    "format_fig3",
+    "Category",
+    "Fig4Row",
+    "GainSummary",
+    "classify_category",
+    "fig4_rows",
+    "format_fig4",
+    "gain_summary",
+]

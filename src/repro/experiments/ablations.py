@@ -1,0 +1,100 @@
+"""Ablation studies around the paper's fixed experimental choices.
+
+The paper pins ``pfail = 1e-4`` ("representative of the highest assumed
+probability of cell failure") and the 1 KB / 4-way / 16 B geometry
+("the one leading to the smallest pWCET in [1]").  These drivers sweep
+both choices, plus the ILP-vs-LP-relaxation engineering trade-off, on a
+configurable subset of the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cache import CacheGeometry
+from repro.pwcet import EstimatorConfig, PWCETEstimator
+from repro.pwcet.estimator import TARGET_EXCEEDANCE
+from repro.suite import load
+
+#: Small representative subset (one per category) for sweep ablations.
+DEFAULT_SUBSET = ("nsichneu", "fibcall", "ud", "adpcm")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (benchmark, parameter) observation of a sweep."""
+
+    benchmark: str
+    parameter: str
+    value: float | str
+    wcet_fault_free: int
+    pwcet_none: int
+    pwcet_srb: int
+    pwcet_rw: int
+
+    def gains(self) -> tuple[float, float]:
+        return (1 - self.pwcet_srb / self.pwcet_none,
+                1 - self.pwcet_rw / self.pwcet_none)
+
+
+def _observe(benchmark: str, config: EstimatorConfig, parameter: str,
+             value: float | str,
+             probability: float = TARGET_EXCEEDANCE) -> SweepPoint:
+    estimator = PWCETEstimator(load(benchmark), config, name=benchmark)
+    return SweepPoint(
+        benchmark=benchmark, parameter=parameter, value=value,
+        wcet_fault_free=estimator.fault_free_wcet(),
+        pwcet_none=estimator.estimate("none").pwcet(probability),
+        pwcet_srb=estimator.estimate("srb").pwcet(probability),
+        pwcet_rw=estimator.estimate("rw").pwcet(probability))
+
+
+def pfail_sweep(pfails: tuple[float, ...] = (1e-3, 1e-4, 1e-5, 1e-6),
+                benchmarks: tuple[str, ...] = DEFAULT_SUBSET
+                ) -> list[SweepPoint]:
+    """ABL-PFAIL: pWCET sensitivity to the cell failure probability."""
+    base = EstimatorConfig()
+    return [_observe(benchmark, replace(base, pfail=pfail), "pfail", pfail)
+            for benchmark in benchmarks for pfail in pfails]
+
+
+def geometry_sweep(geometries: tuple[CacheGeometry, ...] = (
+        CacheGeometry.from_size(1024, 1, 16),
+        CacheGeometry.from_size(1024, 2, 16),
+        CacheGeometry.from_size(1024, 4, 16),
+        CacheGeometry.from_size(1024, 8, 16),
+        CacheGeometry.from_size(1024, 4, 32),
+), benchmarks: tuple[str, ...] = DEFAULT_SUBSET) -> list[SweepPoint]:
+    """ABL-CFG: pWCET across cache organisations of equal capacity."""
+    base = EstimatorConfig()
+    return [
+        _observe(benchmark, replace(base, geometry=geometry), "geometry",
+                 f"{geometry.sets}x{geometry.ways}x{geometry.block_bytes}B")
+        for benchmark in benchmarks for geometry in geometries
+    ]
+
+
+def solver_comparison(benchmarks: tuple[str, ...] = DEFAULT_SUBSET
+                      ) -> list[tuple[SweepPoint, SweepPoint]]:
+    """ABL-SOLVER: exact ILP vs (sound) LP relaxation, paired."""
+    exact = EstimatorConfig(relaxed=False)
+    relaxed = EstimatorConfig(relaxed=True)
+    return [(_observe(benchmark, exact, "solver", "ilp"),
+             _observe(benchmark, relaxed, "solver", "lp-relaxed"))
+            for benchmark in benchmarks]
+
+
+def format_sweep(points: list[SweepPoint]) -> str:
+    """Render a sweep as an aligned table."""
+    lines = [f"{'benchmark':14s} {'param':>9s} {'value':>12s} "
+             f"{'wcet_ff':>10s} {'none':>10s} {'srb':>10s} {'rw':>10s} "
+             f"{'gSRB':>6s} {'gRW':>6s}"]
+    lines.append("-" * len(lines[0]))
+    for point in points:
+        gain_srb, gain_rw = point.gains()
+        lines.append(
+            f"{point.benchmark:14s} {point.parameter:>9s} "
+            f"{point.value!s:>12s} {point.wcet_fault_free:10d} "
+            f"{point.pwcet_none:10d} {point.pwcet_srb:10d} "
+            f"{point.pwcet_rw:10d} {gain_srb:6.1%} {gain_rw:6.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Shared benchmark execution and caching for the experiment drivers.
+
+All figure generators need the same per-benchmark artefacts (fault-free
+WCET, the three pWCET estimates); this module computes them once per
+(benchmark, configuration) and caches in process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pwcet import EstimatorConfig, PWCETEstimate, PWCETEstimator
+from repro.pwcet.estimator import TARGET_EXCEEDANCE
+from repro.suite import EVALUATED_BENCHMARKS, load
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """The paper-facing numbers of one benchmark run."""
+
+    name: str
+    wcet_fault_free: int
+    estimates: dict[str, PWCETEstimate]  # keyed by mechanism name
+    target_probability: float
+
+    def pwcet(self, mechanism: str) -> int:
+        return self.estimates[mechanism].pwcet(self.target_probability)
+
+    def normalized(self, mechanism: str) -> float:
+        """pWCET normalised to the no-protection pWCET (Figure 4)."""
+        return self.pwcet(mechanism) / self.pwcet("none")
+
+    @property
+    def normalized_fault_free(self) -> float:
+        return self.wcet_fault_free / self.pwcet("none")
+
+    def gain(self, mechanism: str) -> float:
+        """Relative pWCET reduction vs. no protection (in [0, 1])."""
+        return 1.0 - self.normalized(mechanism)
+
+
+_CACHE: dict[tuple[str, EstimatorConfig, float], BenchmarkResult] = {}
+
+
+def run_benchmark(name: str, config: EstimatorConfig | None = None, *,
+                  target_probability: float = TARGET_EXCEEDANCE
+                  ) -> BenchmarkResult:
+    """Full pipeline for one benchmark (memoised per configuration)."""
+    if config is None:
+        config = EstimatorConfig()
+    key = (name, config, target_probability)
+    if key not in _CACHE:
+        estimator = PWCETEstimator(load(name), config, name=name)
+        _CACHE[key] = BenchmarkResult(
+            name=name,
+            wcet_fault_free=estimator.fault_free_wcet(),
+            estimates=estimator.estimate_all(),
+            target_probability=target_probability)
+    return _CACHE[key]
+
+
+def run_suite(config: EstimatorConfig | None = None, *,
+              target_probability: float = TARGET_EXCEEDANCE,
+              benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS
+              ) -> list[BenchmarkResult]:
+    """Run the whole 25-benchmark suite (Figure 4's input data)."""
+    return [run_benchmark(name, config,
+                          target_probability=target_probability)
+            for name in benchmarks]

@@ -1,0 +1,6 @@
+"""Permanent-fault probability model and fault injection."""
+
+from repro.faults.model import FaultProbabilityModel
+from repro.faults.injection import sample_fault_maps
+
+__all__ = ["FaultProbabilityModel", "sample_fault_maps"]

@@ -1,0 +1,27 @@
+"""Monte-Carlo fault injection for validation and MBPTA sampling."""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from repro.cache import CacheGeometry, FaultMap
+from repro.faults.model import FaultProbabilityModel
+
+
+def sample_fault_maps(model: FaultProbabilityModel, count: int,
+                      rng: random.Random, *,
+                      reliable_ways: int = 0) -> Iterator[FaultMap]:
+    """Yield ``count`` i.i.d. fault maps drawn from the block model.
+
+    Each (set, way) frame fails independently with probability ``pbf``
+    (the bit-level process aggregated to block granularity, which is
+    exactly the abstraction of the paper: only the number of faulty
+    blocks per set matters).  ``reliable_ways`` hardened ways per set
+    never fail — use 1 for the RW mechanism.
+    """
+    geometry: CacheGeometry = model.geometry
+    pbf = model.pbf
+    for _ in range(count):
+        yield FaultMap.sample(geometry, pbf, rng,
+                              reliable_ways=reliable_ways)

@@ -1,0 +1,6 @@
+"""Fault Miss Map (FMM) computation — paper §II-C and Figure 1.a."""
+
+from repro.fmm.fault_miss_map import FaultMissMap
+from repro.fmm.compute import compute_fault_miss_map
+
+__all__ = ["FaultMissMap", "compute_fault_miss_map"]

@@ -1,0 +1,138 @@
+"""Computing the Fault Miss Map by IPET-like ILPs (paper §II-C, [1]).
+
+For every set ``s`` and fault count ``f`` we maximise, over the IPET
+flow polytope, a safe upper bound of the number of *additional* misses
+incurred by references to ``s`` when their classification degrades
+from the fault-free table (associativity ``W``) to the degraded table
+(associativity ``W - f``).  Per-reference accounting, with ``x_b`` the
+reference's block execution count and ``entries(L)`` the flow entering
+scope ``L``:
+
+=======================  =========================  ====================
+fault-free CHMC          degraded CHMC              extra-miss bound
+=======================  =========================  ====================
+always-hit               always-hit                 0
+always-hit / first-miss  first-miss in scope L      min(x_b, entries(L))
+always-hit / first-miss  always-miss / unclassified x_b
+first-miss in L          first-miss in L (same)     0
+always-miss / unclass.   anything                   0 (already misses)
+=======================  =========================  ====================
+
+The bound is conservative for degraded first-miss references (the
+fault-free misses subtracted are lower-bounded by zero), exactly the
+safe direction.
+
+For the SRB mechanism, the all-ways-faulty column first removes every
+reference classified always-hit by the SRB analysis (§III-B2); the
+remaining references degrade to always-miss.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import CacheAnalysis
+from repro.analysis.chmc import Chmc
+from repro.cfg import CFG
+from repro.errors import AnalysisError
+from repro.fmm.fault_miss_map import FaultMissMap
+from repro.ipet.model import FlowModel
+from repro.reliability.mechanism import ReliabilityMechanism
+
+
+def compute_fault_miss_map(analysis: CacheAnalysis,
+                           mechanism: ReliabilityMechanism, *,
+                           flow_model: FlowModel | None = None,
+                           relaxed: bool = False) -> FaultMissMap:
+    """Compute the FMM of one program for one reliability mechanism."""
+    cfg = analysis.cfg
+    geometry = analysis.geometry
+    ways = geometry.ways
+    if flow_model is None:
+        flow_model = FlowModel(cfg, analysis.forest)
+
+    fault_counts = mechanism.fault_counts(ways)
+    max_fault = max(fault_counts)
+    all_faulty_filter = mechanism.all_faulty_filter(analysis)
+
+    baseline = analysis.classification(ways)
+    rows: list[tuple[int, ...]] = []
+    for set_index in range(geometry.sets):
+        row = [0]
+        for fault_count in range(1, max_fault + 1):
+            if fault_count not in fault_counts:
+                raise AnalysisError(
+                    f"mechanism {mechanism.name!r} skips fault count "
+                    f"{fault_count}; FMM columns must be contiguous")
+            srb_classifier = (all_faulty_filter(set_index)
+                              if (all_faulty_filter is not None
+                                  and fault_count == ways) else None)
+            bound = _extra_miss_bound(
+                analysis, flow_model, baseline, set_index, fault_count,
+                srb_classifier,
+                relaxed=relaxed)
+            # More faults can never reduce the worst extra-miss count;
+            # guard against solver round-off breaking monotonicity.
+            row.append(max(bound, row[-1]))
+        rows.append(tuple(row))
+    return FaultMissMap(geometry=geometry, rows=tuple(rows),
+                        mechanism_name=mechanism.name)
+
+
+def _extra_miss_bound(analysis: CacheAnalysis, flow_model: FlowModel,
+                      baseline, set_index: int, fault_count: int,
+                      srb_classifier, *,
+                      relaxed: bool) -> int:
+    """Solve one (set, fault count) ILP; returns the miss bound."""
+    cfg: CFG = analysis.cfg
+    ways = analysis.geometry.ways
+    degraded_assoc = ways - fault_count
+    degraded = (analysis.classification(degraded_assoc)
+                if srb_classifier is None else None)
+
+    objective: dict[int, float] = {}
+
+    def add(coefficients: dict[int, float]) -> None:
+        for variable, weight in coefficients.items():
+            objective[variable] = objective.get(variable, 0.0) + weight
+
+    for block_id in cfg.block_ids():
+        references = baseline.references(block_id)
+        fault_free = baseline.of_block(block_id)
+        degraded_row = degraded.of_block(block_id) if degraded else None
+        full_count = 0
+        fm_groups: dict[int, int] = {}
+        for position, reference in enumerate(references):
+            if reference.set_index != set_index:
+                continue
+            before = fault_free[position]
+            if before.counts_full_misses:
+                continue  # already a miss on every execution
+            if srb_classifier is not None:
+                # All ways faulty: the mechanism's classifier says how
+                # the reference behaves on the reliable storage.
+                after = srb_classifier(reference)
+            else:
+                after = degraded_row[position]
+            after_chmc, after_scope = after.chmc, after.scope
+            if after_chmc is Chmc.ALWAYS_HIT:
+                continue
+            if after_chmc is Chmc.FIRST_MISS:
+                if (before.chmc is Chmc.FIRST_MISS
+                        and before.scope == after_scope):
+                    continue
+                fm_groups[after_scope] = fm_groups.get(after_scope, 0) + 1
+            else:
+                full_count += 1
+        if full_count:
+            add(flow_model.block_count_coefficients(block_id,
+                                                    float(full_count)))
+        for scope, count in fm_groups.items():
+            variable = flow_model.fm_group_var(block_id, scope)
+            objective[variable] = objective.get(variable, 0.0) + float(count)
+
+    if not objective:
+        return 0
+    solution = flow_model.program.maximize(objective, relaxed=relaxed)
+    if relaxed:
+        # LP relaxation of a maximisation: round up to stay sound.
+        return int(-(-solution.objective // 1))
+    return solution.rounded_objective()

@@ -1,0 +1,76 @@
+"""The Fault Miss Map data structure.
+
+``FMM[s][f]`` upper-bounds the number of *fault-induced* misses, over
+any structurally feasible path, when set ``s`` has exactly ``f`` faulty
+blocks (and only set ``s`` is considered — sets are independent, the
+penalty distributions are convolved later).  Entries are in misses;
+multiply by the memory latency for cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache import CacheGeometry
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultMissMap:
+    """Immutable per-set / per-fault-count miss bounds."""
+
+    geometry: CacheGeometry
+    #: rows[s][f] -> miss bound; every row covers f = 0 .. max column.
+    rows: tuple[tuple[int, ...], ...]
+    #: Identifies the mechanism the all-faulty column was computed for.
+    mechanism_name: str = "none"
+
+    def __post_init__(self) -> None:
+        if len(self.rows) != self.geometry.sets:
+            raise ConfigurationError(
+                f"FMM needs {self.geometry.sets} rows, got {len(self.rows)}")
+        width = len(self.rows[0]) if self.rows else 0
+        for set_index, row in enumerate(self.rows):
+            if len(row) != width:
+                raise ConfigurationError("ragged FMM rows")
+            if row and row[0] != 0:
+                raise ConfigurationError(
+                    f"FMM[{set_index}][0] must be 0 (no faults, no penalty)")
+            for earlier, later in zip(row, row[1:]):
+                if later < earlier:
+                    raise ConfigurationError(
+                        f"FMM row {set_index} not monotone: {row}")
+
+    @property
+    def max_fault_count(self) -> int:
+        """Largest fault count covered by the map's columns."""
+        return len(self.rows[0]) - 1
+
+    def misses(self, set_index: int, faulty_blocks: int) -> int:
+        """Miss bound for ``faulty_blocks`` faults in ``set_index``."""
+        if not 0 <= set_index < self.geometry.sets:
+            raise ConfigurationError(f"set index {set_index} out of range")
+        row = self.rows[set_index]
+        if not 0 <= faulty_blocks < len(row):
+            raise ConfigurationError(
+                f"fault count {faulty_blocks} outside FMM columns "
+                f"[0, {len(row) - 1}]")
+        return row[faulty_blocks]
+
+    def row(self, set_index: int) -> tuple[int, ...]:
+        return self.rows[set_index]
+
+    def total_worst_misses(self) -> int:
+        """Sum of worst-column entries — grid size of the convolution."""
+        return sum(row[-1] for row in self.rows)
+
+    def format_table(self) -> str:
+        """Figure 1.a-style rendering, one row per set."""
+        width = self.max_fault_count
+        header = "set | " + " | ".join(
+            f"{f} faulty" for f in range(1, width + 1))
+        lines = [header, "-" * len(header)]
+        for set_index, row in enumerate(self.rows):
+            cells = " | ".join(f"{value:8d}" for value in row[1:])
+            lines.append(f"{set_index:3d} | {cells}")
+        return "\n".join(lines)

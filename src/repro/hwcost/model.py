@@ -1,0 +1,158 @@
+"""Analytical area/leakage model of the cache plus reliability hardware.
+
+The model follows the approach of the low-voltage cache literature the
+paper builds on (Ghasemi et al. [11], Kulkarni et al. [12]): data
+arrays are modelled by cell count, and fault *resilience* is obtained
+by replacing standard 6T SRAM cells with larger hardened cells (8T or
+Schmitt-trigger 10T), paying a per-cell area and leakage factor.
+
+Baseline cache cost:
+
+* data array: ``S * W * K`` bits of 6T cells;
+* tag + state array: per block, ``tag_bits + valid + lru_bits`` cells
+  (LRU state and control bits are assumed fault-free by the paper, so
+  they are hardened in *every* configuration and contribute the same
+  to all mechanisms).
+
+Mechanism overheads (relative to that baseline):
+
+* **RW** hardens one full way: ``S * K`` data bits upgraded from 6T to
+  hardened cells (plus that way's tags);
+* **SRB** hardens a single extra line: ``K`` data bits of hardened
+  cells, one hardened tag entry, and a comparator — a fraction of the
+  RW's overhead, which is exactly the paper's cost argument for it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cache import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.reliability import ReliabilityMechanism
+from repro.reliability.mechanism import (NoProtection, ReliableWay,
+                                         SharedReliableBuffer)
+
+
+@dataclass(frozen=True)
+class CellTechnology:
+    """Relative area/leakage of the SRAM cell variants.
+
+    Defaults follow the published comparisons: an 8T cell is ~1.3x the
+    6T area; a Schmitt-trigger 10T cell (Kulkarni et al. [12], robust
+    at sub-threshold voltages) is ~2.0x area and ~1.6x leakage.
+    """
+
+    name: str = "schmitt-trigger-10T"
+    hardened_area_factor: float = 2.0
+    hardened_leakage_factor: float = 1.6
+
+    def __post_init__(self) -> None:
+        if self.hardened_area_factor < 1.0:
+            raise ConfigurationError(
+                "hardened cells cannot be smaller than baseline cells")
+        if self.hardened_leakage_factor <= 0.0:
+            raise ConfigurationError("leakage factor must be positive")
+
+
+#: Published cell variants usable as presets.
+CELL_TECHNOLOGIES = {
+    "8T": CellTechnology("8T", hardened_area_factor=1.3,
+                         hardened_leakage_factor=1.15),
+    "schmitt-trigger-10T": CellTechnology("schmitt-trigger-10T",
+                                          hardened_area_factor=2.0,
+                                          hardened_leakage_factor=1.6),
+}
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Cost of one cache configuration, in 6T-cell-equivalents."""
+
+    mechanism_name: str
+    baseline_cell_equivalents: float
+    overhead_cell_equivalents: float
+    leakage_equivalents: float
+
+    @property
+    def total_cell_equivalents(self) -> float:
+        return self.baseline_cell_equivalents + self.overhead_cell_equivalents
+
+    @property
+    def area_overhead_ratio(self) -> float:
+        """Overhead relative to the unprotected cache."""
+        return self.overhead_cell_equivalents / self.baseline_cell_equivalents
+
+
+class MechanismCostModel:
+    """Computes :class:`HardwareCost` for the paper's three configs."""
+
+    def __init__(self, geometry: CacheGeometry, *,
+                 technology: CellTechnology | None = None,
+                 address_bits: int = 32) -> None:
+        if technology is None:
+            technology = CELL_TECHNOLOGIES["schmitt-trigger-10T"]
+        self._geometry = geometry
+        self._technology = technology
+        self._address_bits = address_bits
+
+    @property
+    def geometry(self) -> CacheGeometry:
+        return self._geometry
+
+    @property
+    def technology(self) -> CellTechnology:
+        return self._technology
+
+    # -- building blocks -------------------------------------------------
+    def tag_bits_per_block(self) -> int:
+        """Tag width plus valid bit for one cache block."""
+        geometry = self._geometry
+        tag = (self._address_bits - geometry.index_bits
+               - geometry.offset_bits)
+        return tag + 1  # + valid
+
+    def lru_bits_per_set(self) -> int:
+        """State bits to encode an LRU order of W ways."""
+        ways = self._geometry.ways
+        return max(1, math.ceil(math.log2(math.factorial(ways))))
+
+    def baseline_cells(self) -> float:
+        geometry = self._geometry
+        data = geometry.sets * geometry.ways * geometry.block_bits
+        tags = geometry.sets * geometry.ways * self.tag_bits_per_block()
+        lru = geometry.sets * self.lru_bits_per_set()
+        return float(data + tags + lru)
+
+    # -- per-mechanism costs ----------------------------------------------
+    def cost_of(self, mechanism: ReliabilityMechanism) -> HardwareCost:
+        baseline = self.baseline_cells()
+        area_factor = self._technology.hardened_area_factor
+        leak_factor = self._technology.hardened_leakage_factor
+        geometry = self._geometry
+
+        if isinstance(mechanism, NoProtection):
+            hardened_bits = 0.0
+            extra_bits = 0.0
+        elif isinstance(mechanism, ReliableWay):
+            # One way's data + tags upgraded in place.
+            hardened_bits = geometry.sets * (
+                geometry.block_bits + self.tag_bits_per_block())
+            extra_bits = 0.0
+        elif isinstance(mechanism, SharedReliableBuffer):
+            # One extra hardened line + full-address tag + comparator
+            # (comparator modelled as one tag's worth of logic).
+            hardened_bits = geometry.block_bits + self._address_bits
+            extra_bits = self._address_bits  # comparator/steering logic
+        else:
+            raise ConfigurationError(
+                f"no cost model for mechanism {mechanism.name!r}")
+
+        overhead = hardened_bits * (area_factor - 1.0) + extra_bits
+        leakage = (baseline - hardened_bits) + hardened_bits * leak_factor
+        return HardwareCost(
+            mechanism_name=mechanism.name,
+            baseline_cell_equivalents=baseline,
+            overhead_cell_equivalents=overhead,
+            leakage_equivalents=leakage + extra_bits)

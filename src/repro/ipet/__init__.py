@@ -1,0 +1,24 @@
+"""IPET: WCET computation by Implicit Path Enumeration (Li & Malik).
+
+The execution-count space of a program is encoded as an integer linear
+program — flow conservation per basic block, one unit of flow from
+entry to exit, loop-bound inequalities — and the WCET is the maximum of
+a linear time objective over that polytope.  The same polytope, with a
+different objective, bounds the number of fault-induced misses for the
+Fault Miss Map (:mod:`repro.fmm`).
+"""
+
+from repro.ipet.ilp import LinearProgram, Solution
+from repro.ipet.model import FlowModel
+from repro.ipet.paths import enumerate_paths
+from repro.ipet.wcet import TimingModel, WCETResult, compute_wcet
+
+__all__ = [
+    "LinearProgram",
+    "Solution",
+    "FlowModel",
+    "enumerate_paths",
+    "TimingModel",
+    "WCETResult",
+    "compute_wcet",
+]

@@ -1,0 +1,162 @@
+"""A small (I)LP layer over ``scipy.optimize.milp`` (HiGHS).
+
+The paper uses CPLEX 12.5; HiGHS via scipy is the offline substitute.
+Models are built once (variables + constraints) and can be solved for
+several objectives — the FMM computation reuses one flow polytope for
+every (set, fault count) pair.
+
+Solving the LP relaxation instead of the ILP is supported: for a
+*maximisation* the relaxation can only over-estimate, so a relaxed
+WCET/FMM bound remains sound (just possibly less tight) — this is the
+ABL-SOLVER ablation of DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.errors import SolverError
+
+#: Map of scipy.milp status codes to human-readable causes.
+_MILP_STATUS = {
+    0: "optimal",
+    1: "iteration or time limit",
+    2: "infeasible",
+    3: "unbounded",
+    4: "numerical difficulties",
+}
+
+
+@dataclass(frozen=True)
+class Solution:
+    """An optimal solution of a :class:`LinearProgram`."""
+
+    objective: float
+    values: np.ndarray
+    relaxed: bool
+
+    def value_of(self, index: int) -> float:
+        return float(self.values[index])
+
+    def rounded_objective(self) -> int:
+        """Objective as an integer (ILP objectives here are integral)."""
+        return int(round(self.objective))
+
+
+class LinearProgram:
+    """Incrementally built (mixed-)integer linear program.
+
+    All variables are non-negative; bounds are optional per variable.
+    Constraints are ``<=`` or ``==`` rows over variable indices.
+    """
+
+    def __init__(self, name: str = "lp") -> None:
+        self.name = name
+        self._names: list[str] = []
+        self._lower: list[float] = []
+        self._upper: list[float] = []
+        self._rows: list[dict[int, float]] = []
+        self._row_lb: list[float] = []
+        self._row_ub: list[float] = []
+        self._frozen_matrix: sparse.csc_matrix | None = None
+
+    # -- model building ------------------------------------------------
+    def add_variable(self, name: str, *, lower: float = 0.0,
+                     upper: float | None = None) -> int:
+        """Add a variable; returns its index."""
+        if upper is not None and upper < lower:
+            raise SolverError(
+                f"variable {name!r}: upper {upper} < lower {lower}")
+        self._names.append(name)
+        self._lower.append(lower)
+        self._upper.append(math.inf if upper is None else upper)
+        self._frozen_matrix = None
+        return len(self._names) - 1
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._names)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._rows)
+
+    def variable_name(self, index: int) -> str:
+        return self._names[index]
+
+    def add_le(self, coefficients: dict[int, float], rhs: float) -> None:
+        """Add ``sum(c_i * x_i) <= rhs``."""
+        self._add_row(coefficients, -math.inf, rhs)
+
+    def add_eq(self, coefficients: dict[int, float], rhs: float) -> None:
+        """Add ``sum(c_i * x_i) == rhs``."""
+        self._add_row(coefficients, rhs, rhs)
+
+    def _add_row(self, coefficients: dict[int, float], lb: float,
+                 ub: float) -> None:
+        if not coefficients:
+            raise SolverError("empty constraint row")
+        for index in coefficients:
+            if not 0 <= index < len(self._names):
+                raise SolverError(f"unknown variable index {index}")
+        self._rows.append(dict(coefficients))
+        self._row_lb.append(lb)
+        self._row_ub.append(ub)
+        self._frozen_matrix = None
+
+    # -- solving ---------------------------------------------------------
+    def maximize(self, objective: dict[int, float], *,
+                 relaxed: bool = False) -> Solution:
+        """Maximise a linear objective over the model."""
+        return self._solve(objective, sign=-1.0, relaxed=relaxed)
+
+    def minimize(self, objective: dict[int, float], *,
+                 relaxed: bool = False) -> Solution:
+        """Minimise a linear objective over the model."""
+        return self._solve(objective, sign=1.0, relaxed=relaxed)
+
+    def _matrix(self) -> sparse.csc_matrix:
+        if self._frozen_matrix is None:
+            data, row_idx, col_idx = [], [], []
+            for row, coefficients in enumerate(self._rows):
+                for col, value in coefficients.items():
+                    data.append(value)
+                    row_idx.append(row)
+                    col_idx.append(col)
+            self._frozen_matrix = sparse.csc_matrix(
+                (data, (row_idx, col_idx)),
+                shape=(len(self._rows), len(self._names)))
+        return self._frozen_matrix
+
+    def _solve(self, objective: dict[int, float], sign: float,
+               relaxed: bool) -> Solution:
+        n = len(self._names)
+        c = np.zeros(n)
+        for index, coefficient in objective.items():
+            if not 0 <= index < n:
+                raise SolverError(f"unknown variable index {index}")
+            c[index] = sign * coefficient
+
+        constraints = []
+        if self._rows:
+            constraints.append(optimize.LinearConstraint(
+                self._matrix(), np.array(self._row_lb),
+                np.array(self._row_ub)))
+        bounds = optimize.Bounds(np.array(self._lower),
+                                 np.array(self._upper))
+        integrality = np.zeros(n) if relaxed else np.ones(n)
+        result = optimize.milp(c=c, constraints=constraints, bounds=bounds,
+                               integrality=integrality)
+        if not result.success:
+            cause = _MILP_STATUS.get(result.status,
+                                     f"status {result.status}")
+            raise SolverError(
+                f"{self.name}: solver failed ({cause}): {result.message}")
+        # milp always minimises; undo the sign flip used for maximise.
+        objective_value = float(result.fun) / sign
+        return Solution(objective=objective_value, values=result.x,
+                        relaxed=relaxed)

@@ -1,0 +1,101 @@
+"""Exhaustive enumeration of structurally feasible paths.
+
+Only practical for small CFGs, this is the reference oracle used by the
+test suite to validate the IPET formulation: the ILP maximum of any
+linear block-cost objective must equal the maximum over all enumerated
+paths.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.cfg import CFG, LoopForest, find_loops
+from repro.errors import SimulationError
+
+#: Hard cap on the number of yielded paths (the enumeration is
+#: exponential; the oracle is meant for unit-test-sized CFGs).
+DEFAULT_MAX_PATHS = 200_000
+
+
+def enumerate_paths(cfg: CFG, forest: LoopForest | None = None, *,
+                    max_paths: int = DEFAULT_MAX_PATHS
+                    ) -> Iterator[tuple[int, ...]]:
+    """Yield every structurally feasible entry-to-exit block sequence.
+
+    Feasibility means: follows CFG edges, and every loop executes its
+    header at most ``bound`` times per entry into the loop.
+    """
+    cfg.validate()
+    if forest is None:
+        forest = find_loops(cfg)
+    loops = forest.loops
+    yielded = 0
+
+    # Depth-first enumeration carrying per-loop remaining header budgets.
+    # State: (current block, immutable budget mapping, path so far).
+    def budgets_after_edge(src: int, dst: int,
+                           budgets: dict[int, int]) -> dict[int, int] | None:
+        new_budgets = dict(budgets)
+        # Drop budgets of loops being exited.
+        for header, loop in loops.items():
+            if src in loop.body and dst not in loop.body:
+                new_budgets.pop(header, None)
+        if dst in loops:
+            if src not in loops[dst].body:
+                new_budgets[dst] = loops[dst].bound  # fresh entry
+            elif new_budgets.get(dst, 0) <= 0:
+                return None  # back edge with exhausted budget
+        return new_budgets
+
+    def consume_header(block_id: int,
+                       budgets: dict[int, int]) -> dict[int, int] | None:
+        if block_id not in loops:
+            return budgets
+        remaining = budgets.get(block_id, 0)
+        if remaining <= 0:
+            return None
+        budgets = dict(budgets)
+        budgets[block_id] = remaining - 1
+        return budgets
+
+    stack: list[tuple[int, dict[int, int], tuple[int, ...]]] = []
+    initial_budgets: dict[int, int] = {}
+    if cfg.entry_id in loops:
+        initial_budgets[cfg.entry_id] = loops[cfg.entry_id].bound
+    entry_budgets = consume_header(cfg.entry_id, initial_budgets)
+    if entry_budgets is None:
+        raise SimulationError("entry header has zero bound")
+    stack.append((cfg.entry_id, entry_budgets, (cfg.entry_id,)))
+
+    while stack:
+        block_id, budgets, path = stack.pop()
+        if block_id == cfg.exit_id:
+            yielded += 1
+            if yielded > max_paths:
+                raise SimulationError(
+                    f"more than {max_paths} feasible paths; "
+                    "use a smaller CFG for the enumeration oracle")
+            yield path
+            continue
+        for successor in cfg.successors(block_id):
+            edge_budgets = budgets_after_edge(block_id, successor, budgets)
+            if edge_budgets is None:
+                continue
+            next_budgets = consume_header(successor, edge_budgets)
+            if next_budgets is None:
+                continue
+            stack.append((successor, next_budgets, path + (successor,)))
+
+
+def max_path_cost(cfg: CFG, block_costs: dict[int, float],
+                  forest: LoopForest | None = None, *,
+                  max_paths: int = DEFAULT_MAX_PATHS) -> float:
+    """Maximum of a per-block-cost objective over all feasible paths."""
+    best = float("-inf")
+    for path in enumerate_paths(cfg, forest, max_paths=max_paths):
+        cost = sum(block_costs.get(block_id, 0.0) for block_id in path)
+        best = max(best, cost)
+    if best == float("-inf"):
+        raise SimulationError("no feasible path from entry to exit")
+    return best

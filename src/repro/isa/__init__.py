@@ -1,0 +1,23 @@
+"""MIPS-like instruction-set model.
+
+The WCET analyses in this library only need instruction *addresses*
+(to derive cache references), instruction *kinds* (to recognise control
+flow) and a fixed encoding width.  This package models exactly that: a
+RISC ISA in the style of the MIPS R2000/R3000 targeted by the paper,
+with 4-byte instructions and a conventional mnemonic set.
+"""
+
+from repro.isa.instruction import (
+    INSTRUCTION_SIZE,
+    Instruction,
+    InstructionKind,
+)
+from repro.isa.layout import FunctionImage, MemoryLayout
+
+__all__ = [
+    "INSTRUCTION_SIZE",
+    "Instruction",
+    "InstructionKind",
+    "FunctionImage",
+    "MemoryLayout",
+]

@@ -1,0 +1,112 @@
+"""Instructions of the MIPS-like target ISA.
+
+Timing analysis of instruction caches treats an instruction as a fetch
+from its address; the opcode only matters for building the control-flow
+graph (branches, jumps, calls, returns).  We nevertheless keep real
+mnemonics so that generated code is readable in dumps and debugging
+sessions, mirroring what a disassembler of the original MIPS binaries
+would show.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Fixed encoding width of the MIPS R2000/R3000 family, in bytes.
+INSTRUCTION_SIZE = 4
+
+
+class InstructionKind(enum.Enum):
+    """Control-flow role of an instruction."""
+
+    #: Arithmetic / logic / load / store — falls through to the next one.
+    SEQUENTIAL = "sequential"
+    #: Conditional branch (e.g. ``beq``) — two successors.
+    BRANCH = "branch"
+    #: Unconditional jump (``j``) — one non-fall-through successor.
+    JUMP = "jump"
+    #: Function call (``jal``) — transfers to a callee, then returns.
+    CALL = "call"
+    #: Function return (``jr ra``).
+    RETURN = "return"
+
+
+#: Mnemonics used by the gcc -O0 style code generator, grouped by kind.
+MNEMONICS_BY_KIND = {
+    InstructionKind.SEQUENTIAL: (
+        "addu", "addiu", "subu", "and", "or", "xor", "nor", "sll", "srl",
+        "slt", "slti", "lui", "lw", "sw", "lb", "sb", "mult", "mflo",
+        "mfhi", "div", "nop", "move", "li",
+    ),
+    InstructionKind.BRANCH: ("beq", "bne", "blez", "bgtz", "bltz", "bgez"),
+    InstructionKind.JUMP: ("j",),
+    InstructionKind.CALL: ("jal",),
+    InstructionKind.RETURN: ("jr",),
+}
+
+_KIND_BY_MNEMONIC = {
+    mnemonic: kind
+    for kind, mnemonics in MNEMONICS_BY_KIND.items()
+    for mnemonic in mnemonics
+}
+
+
+def kind_of_mnemonic(mnemonic: str) -> InstructionKind:
+    """Return the :class:`InstructionKind` of a known mnemonic."""
+    try:
+        return _KIND_BY_MNEMONIC[mnemonic]
+    except KeyError as exc:
+        raise ConfigurationError(f"unknown mnemonic {mnemonic!r}") from exc
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One 4-byte instruction at a fixed address.
+
+    Attributes
+    ----------
+    address:
+        Byte address of the instruction in the text segment.  Must be
+        aligned on :data:`INSTRUCTION_SIZE`.
+    mnemonic:
+        MIPS-style mnemonic (see :data:`MNEMONICS_BY_KIND`).
+    operands:
+        Free-form operand string, kept only for human-readable dumps.
+    target:
+        For control-transfer instructions, the symbolic target label
+        (callee name for calls, block label for jumps/branches).
+    """
+
+    address: int
+    mnemonic: str
+    operands: str = ""
+    target: str | None = None
+    kind: InstructionKind = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.address < 0 or self.address % INSTRUCTION_SIZE:
+            raise ConfigurationError(
+                f"instruction address {self.address:#x} is not "
+                f"{INSTRUCTION_SIZE}-byte aligned")
+        object.__setattr__(self, "kind", kind_of_mnemonic(self.mnemonic))
+
+    def with_address(self, address: int) -> "Instruction":
+        """Return a copy of this instruction relocated to ``address``."""
+        return Instruction(address=address, mnemonic=self.mnemonic,
+                           operands=self.operands, target=self.target)
+
+    @property
+    def is_control_transfer(self) -> bool:
+        """True for branches, jumps, calls and returns."""
+        return self.kind is not InstructionKind.SEQUENTIAL
+
+    def __str__(self) -> str:
+        text = f"{self.address:#010x}: {self.mnemonic}"
+        if self.operands:
+            text += f" {self.operands}"
+        if self.target is not None:
+            text += f" <{self.target}>"
+        return text

@@ -1,0 +1,98 @@
+"""Memory layout of compiled functions (the "default linker" model).
+
+The paper compiles the Mälardalen benchmarks with gcc 4.1 and *the
+default linker memory layout*: functions are placed contiguously in the
+text segment, in definition order, starting at the text base address.
+Cache behaviour is extremely sensitive to this placement (it decides
+which sets each loop touches), so we model it explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.isa.instruction import INSTRUCTION_SIZE
+
+#: Conventional MIPS text segment base used by the default linker script.
+DEFAULT_TEXT_BASE = 0x0040_0000
+
+
+@dataclass(frozen=True)
+class FunctionImage:
+    """Placement of one function in the text segment."""
+
+    name: str
+    base_address: int
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.base_address % INSTRUCTION_SIZE:
+            raise ConfigurationError(
+                f"function {self.name!r} base {self.base_address:#x} "
+                "is misaligned")
+        if self.size_bytes <= 0 or self.size_bytes % INSTRUCTION_SIZE:
+            raise ConfigurationError(
+                f"function {self.name!r} has invalid size {self.size_bytes}")
+
+    @property
+    def end_address(self) -> int:
+        """First address past the function."""
+        return self.base_address + self.size_bytes
+
+
+class MemoryLayout:
+    """Assigns base addresses to functions, in definition order.
+
+    Parameters
+    ----------
+    text_base:
+        Address of the first function.
+    alignment:
+        Function start alignment in bytes (the default linker aligns
+        function entry points; 4 keeps functions densely packed like
+        gcc -O0 output, larger values model section alignment).
+    """
+
+    def __init__(self, text_base: int = DEFAULT_TEXT_BASE,
+                 alignment: int = INSTRUCTION_SIZE) -> None:
+        if text_base < 0 or text_base % INSTRUCTION_SIZE:
+            raise ConfigurationError(f"text base {text_base:#x} is misaligned")
+        if alignment < INSTRUCTION_SIZE or alignment % INSTRUCTION_SIZE:
+            raise ConfigurationError(f"invalid alignment {alignment}")
+        self._text_base = text_base
+        self._alignment = alignment
+        self._images: dict[str, FunctionImage] = {}
+        self._cursor = text_base
+
+    @property
+    def text_base(self) -> int:
+        return self._text_base
+
+    def place(self, name: str, size_bytes: int) -> FunctionImage:
+        """Place a function of ``size_bytes`` and return its image."""
+        if name in self._images:
+            raise ConfigurationError(f"function {name!r} placed twice")
+        start = -(-self._cursor // self._alignment) * self._alignment
+        image = FunctionImage(name=name, base_address=start,
+                              size_bytes=size_bytes)
+        self._images[name] = image
+        self._cursor = image.end_address
+        return image
+
+    def image_of(self, name: str) -> FunctionImage:
+        """Return the image of a previously placed function."""
+        try:
+            return self._images[name]
+        except KeyError as exc:
+            raise ConfigurationError(f"function {name!r} not placed") from exc
+
+    @property
+    def images(self) -> tuple[FunctionImage, ...]:
+        """All placed functions, in placement order."""
+        return tuple(self._images.values())
+
+    @property
+    def total_code_bytes(self) -> int:
+        """Footprint of the whole text segment, padding included."""
+        return self._cursor - self._text_base

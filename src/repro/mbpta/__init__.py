@@ -1,0 +1,29 @@
+"""Measurement-based probabilistic timing analysis (MBPTA) baseline.
+
+The paper contrasts its *static* probabilistic method (SPTA) with the
+measurement-based family of Slijepcevic et al. [7].  This package
+implements that comparator: collect execution-time samples over random
+fault maps and paths, fit an extreme-value model with scipy, and read
+the pWCET off the fitted tail.  Unlike SPTA it carries no guarantee of
+having seen the worst path — which is exactly the comparison point the
+ABL-MBPTA experiment of DESIGN.md makes.
+"""
+
+from repro.mbpta.evt import (
+    BlockMaximaFit,
+    PeaksOverThresholdFit,
+    fit_block_maxima,
+    fit_peaks_over_threshold,
+)
+from repro.mbpta.sampler import ExecutionTimeSampler
+from repro.mbpta.mbpta import MBPTAEstimator, MBPTAResult
+
+__all__ = [
+    "BlockMaximaFit",
+    "PeaksOverThresholdFit",
+    "fit_block_maxima",
+    "fit_peaks_over_threshold",
+    "ExecutionTimeSampler",
+    "MBPTAEstimator",
+    "MBPTAResult",
+]

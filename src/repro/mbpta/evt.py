@@ -1,0 +1,126 @@
+"""Extreme value theory fits (GEV block maxima, GPD peaks-over-threshold).
+
+Thin, explicit wrappers over scipy's ``genextreme`` and ``genpareto``
+with the conventions MBPTA tools (e.g. chronovise) use:
+
+* block maxima: split the sample into blocks, keep each block's max,
+  fit a GEV; the pWCET at exceedance ``p`` is the GEV quantile at
+  ``1 - p * block_size`` (one activation is one sample, a block max
+  covers ``block_size`` activations);
+* POT: keep exceedances over a high quantile threshold, fit a GPD;
+  the pWCET uses the standard POT tail formula with the empirical
+  exceedance rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class BlockMaximaFit:
+    """A fitted GEV model over block maxima."""
+
+    shape: float  # scipy's c; xi = -c in the usual GEV convention
+    location: float
+    scale: float
+    block_size: int
+    n_blocks: int
+
+    def quantile(self, exceedance: float) -> float:
+        """pWCET estimate at per-activation exceedance probability."""
+        if not 0.0 < exceedance < 1.0:
+            raise EstimationError(
+                f"exceedance must be in (0, 1), got {exceedance}")
+        # Per-block exceedance: a block maximum exceeds x only if at
+        # least one of the block's activations does.
+        block_exceedance = min(1.0 - 1e-12, exceedance * self.block_size)
+        return float(stats.genextreme.ppf(
+            1.0 - block_exceedance, self.shape, loc=self.location,
+            scale=self.scale))
+
+    @property
+    def xi(self) -> float:
+        """Tail index in the standard GEV parameterisation."""
+        return -self.shape
+
+
+@dataclass(frozen=True)
+class PeaksOverThresholdFit:
+    """A fitted GPD model over threshold exceedances."""
+
+    shape: float  # scipy's c == xi for genpareto
+    scale: float
+    threshold: float
+    exceedance_rate: float  # fraction of samples above the threshold
+    n_exceedances: int
+
+    def quantile(self, exceedance: float) -> float:
+        """pWCET estimate at per-activation exceedance probability."""
+        if not 0.0 < exceedance < 1.0:
+            raise EstimationError(
+                f"exceedance must be in (0, 1), got {exceedance}")
+        if exceedance >= self.exceedance_rate:
+            # Inside the empirical body; the threshold already covers it.
+            return self.threshold
+        tail_quantile = 1.0 - exceedance / self.exceedance_rate
+        return float(self.threshold + stats.genpareto.ppf(
+            tail_quantile, self.shape, loc=0.0, scale=self.scale))
+
+
+def fit_block_maxima(samples: np.ndarray,
+                     block_size: int = 50) -> BlockMaximaFit:
+    """Fit a GEV to the block maxima of an execution-time sample."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1 or len(samples) < 2 * block_size:
+        raise EstimationError(
+            f"need at least {2 * block_size} samples for block maxima, "
+            f"got {samples.size}")
+    n_blocks = len(samples) // block_size
+    maxima = samples[:n_blocks * block_size].reshape(
+        n_blocks, block_size).max(axis=1)
+    if np.allclose(maxima, maxima[0]):
+        # Degenerate sample (single execution time): point distribution.
+        return BlockMaximaFit(shape=0.0, location=float(maxima[0]),
+                              scale=1e-9, block_size=block_size,
+                              n_blocks=n_blocks)
+    shape, location, scale = stats.genextreme.fit(maxima)
+    return BlockMaximaFit(shape=float(shape), location=float(location),
+                          scale=float(scale), block_size=block_size,
+                          n_blocks=n_blocks)
+
+
+def fit_peaks_over_threshold(samples: np.ndarray, *,
+                             threshold_quantile: float = 0.9
+                             ) -> PeaksOverThresholdFit:
+    """Fit a GPD to the exceedances over an empirical quantile."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1 or samples.size < 50:
+        raise EstimationError(
+            f"need at least 50 samples for POT, got {samples.size}")
+    if not 0.5 <= threshold_quantile < 1.0:
+        raise EstimationError(
+            f"threshold quantile must be in [0.5, 1), got "
+            f"{threshold_quantile}")
+    threshold = float(np.quantile(samples, threshold_quantile))
+    excesses = samples[samples > threshold] - threshold
+    if excesses.size < 10:
+        raise EstimationError(
+            f"only {excesses.size} exceedances over the threshold; "
+            "lower threshold_quantile or add samples")
+    if np.allclose(excesses, excesses[0]):
+        return PeaksOverThresholdFit(
+            shape=0.0, scale=max(float(excesses[0]), 1e-9),
+            threshold=threshold,
+            exceedance_rate=excesses.size / samples.size,
+            n_exceedances=int(excesses.size))
+    shape, _location, scale = stats.genpareto.fit(excesses, floc=0.0)
+    return PeaksOverThresholdFit(
+        shape=float(shape), scale=float(scale), threshold=threshold,
+        exceedance_rate=excesses.size / samples.size,
+        n_exceedances=int(excesses.size))

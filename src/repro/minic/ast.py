@@ -1,0 +1,186 @@
+"""Abstract syntax of MiniC programs.
+
+A program is a set of functions; a function body is a sequence of
+statements.  Statements carry everything WCET analysis needs and
+nothing more:
+
+* :class:`Compute` — straight-line work of a given size (models
+  assignments, address arithmetic, array accesses...);
+* :class:`Loop` — a counted loop with a static iteration bound, the
+  MiniC equivalent of the Mälardalen flow-fact annotations;
+* :class:`If` — a two-way conditional (no condition semantics: the
+  analysis must cover both arms anyway);
+* :class:`Call` — a call to another function of the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompilationError
+
+
+class Stmt:
+    """Base class of MiniC statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Compute(Stmt):
+    """``units`` worth of straight-line instructions.
+
+    One unit is one machine instruction after -O0-style lowering, so a
+    C assignment like ``a[i] = b[i] + c`` is roughly 6-8 units.
+    """
+
+    units: int
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.units < 1:
+            raise CompilationError(
+                f"Compute needs >= 1 unit, got {self.units}")
+
+
+@dataclass(frozen=True)
+class Loop(Stmt):
+    """A counted loop: the body executes at most ``iterations`` times.
+
+    The generated header carries the IPET bound ``iterations + 1``
+    (header executions per entry, counting the final failing test).
+    """
+
+    iterations: int
+    body: tuple[Stmt, ...]
+    note: str = ""
+
+    def __init__(self, iterations: int, body, note: str = "") -> None:
+        object.__setattr__(self, "iterations", iterations)
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "note", note)
+        if iterations < 0:
+            raise CompilationError(
+                f"Loop iterations must be >= 0, got {iterations}")
+        if not self.body:
+            raise CompilationError("Loop body must not be empty")
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """A two-way conditional; ``orelse`` may be empty."""
+
+    then: tuple[Stmt, ...]
+    orelse: tuple[Stmt, ...] = ()
+    note: str = ""
+
+    def __init__(self, then, orelse=(), note: str = "") -> None:
+        object.__setattr__(self, "then", tuple(then))
+        object.__setattr__(self, "orelse", tuple(orelse))
+        object.__setattr__(self, "note", note)
+        if not self.then:
+            raise CompilationError("If.then must not be empty")
+
+
+@dataclass(frozen=True)
+class Call(Stmt):
+    """A call to another function of the same program."""
+
+    callee: str
+
+    def __post_init__(self) -> None:
+        if not self.callee:
+            raise CompilationError("Call needs a callee name")
+
+
+@dataclass(frozen=True)
+class Function:
+    """A MiniC function: a name and a statement sequence."""
+
+    name: str
+    body: tuple[Stmt, ...]
+
+    def __init__(self, name: str, body) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "body", tuple(body))
+        if not name:
+            raise CompilationError("Function needs a name")
+
+
+@dataclass(frozen=True)
+class Program:
+    """A whole MiniC program.
+
+    ``entry`` names the root function (default ``main``).  Callees must
+    all be defined and the static call graph must be acyclic (checked
+    here so errors surface before code generation).
+    """
+
+    functions: tuple[Function, ...]
+    entry: str = "main"
+    name: str = field(default="program")
+
+    def __init__(self, functions, entry: str = "main",
+                 name: str = "program") -> None:
+        object.__setattr__(self, "functions", tuple(functions))
+        object.__setattr__(self, "entry", entry)
+        object.__setattr__(self, "name", name)
+        self._validate()
+
+    def _validate(self) -> None:
+        names = [function.name for function in self.functions]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise CompilationError(
+                f"duplicate function names: {sorted(duplicates)}")
+        table = {function.name: function for function in self.functions}
+        if self.entry not in table:
+            raise CompilationError(
+                f"entry function {self.entry!r} is not defined")
+        for function in self.functions:
+            for callee in _callees_of(function.body):
+                if callee not in table:
+                    raise CompilationError(
+                        f"{function.name!r} calls undefined {callee!r}")
+        _check_acyclic_call_graph(table, self.entry)
+
+    def function(self, name: str) -> Function:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise CompilationError(f"no function named {name!r}")
+
+
+def _callees_of(statements) -> list[str]:
+    """All callee names appearing (recursively) in a statement list."""
+    found: list[str] = []
+    for statement in statements:
+        if isinstance(statement, Call):
+            found.append(statement.callee)
+        elif isinstance(statement, Loop):
+            found.extend(_callees_of(statement.body))
+        elif isinstance(statement, If):
+            found.extend(_callees_of(statement.then))
+            found.extend(_callees_of(statement.orelse))
+    return found
+
+
+def _check_acyclic_call_graph(table: dict[str, Function],
+                              entry: str) -> None:
+    from repro.errors import RecursionUnsupportedError
+
+    state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+    def visit(name: str, chain: tuple[str, ...]) -> None:
+        if state.get(name) == 1:
+            return
+        if state.get(name) == 0:
+            cycle = " -> ".join(chain + (name,))
+            raise RecursionUnsupportedError(
+                f"recursive call chain: {cycle}")
+        state[name] = 0
+        for callee in _callees_of(table[name].body):
+            visit(callee, chain + (name,))
+        state[name] = 1
+
+    visit(entry, ())

@@ -1,0 +1,248 @@
+"""gcc -O0 style code generation: MiniC AST to per-function CFGs.
+
+The generator mirrors the code shapes an unoptimising compiler emits
+for MIPS: a stack-frame prologue/epilogue, memory-resident locals (so
+every use is a ``lw``/``sw`` pair), test-at-top loops with an increment
+block falling back to the header, and branch-over/then/else/join
+diamonds.  Addresses are function-relative (offset 0 at the prologue);
+the linker of :mod:`repro.minic.link` relocates them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.cfg import CFG
+from repro.errors import CompilationError
+from repro.isa import INSTRUCTION_SIZE, Instruction
+from repro.minic.ast import Call, Compute, Function, If, Loop, Stmt
+
+#: Deterministic straight-line mnemonic pattern (a plausible -O0 mix of
+#: loads, ALU ops and stores).
+_COMPUTE_PATTERN = ("lw", "addu", "sw", "lw", "slt", "addiu", "lw",
+                    "subu", "sw", "mult", "mflo", "sw")
+
+_PROLOGUE = (("addiu", "sp,sp,-32"), ("sw", "ra,28(sp)"),
+             ("sw", "fp,24(sp)"), ("move", "fp,sp"))
+_EPILOGUE = (("move", "sp,fp"), ("lw", "fp,24(sp)"),
+             ("lw", "ra,28(sp)"), ("addiu", "sp,sp,32"), ("jr", "ra"))
+
+
+@dataclass(frozen=True)
+class FunctionCode:
+    """Compiled form of one function.
+
+    ``cfg`` holds function-relative addresses starting at 0; its entry
+    is the prologue block and its exit the epilogue block.
+    ``call_sites`` lists (block id, callee name) for every block ending
+    in a ``jal``; each such block has exactly one successor — the
+    return continuation.
+    """
+
+    name: str
+    cfg: CFG
+    call_sites: tuple[tuple[int, str], ...]
+    size_bytes: int
+
+
+class _Emitter:
+    """Single-pass emitter handing out addresses and blocks."""
+
+    def __init__(self, function_name: str) -> None:
+        self.cfg = CFG(name=function_name)
+        self.function_name = function_name
+        self.call_sites: list[tuple[int, str]] = []
+        self._address = 0
+        self._label_counter = itertools.count()
+        self._pending: list[Instruction] = []
+        self._pending_label = "entry"
+        self._pending_bound: int | None = None
+        self._open_block: int | None = None  # last sealed block awaiting edge
+
+    # -- low-level helpers -------------------------------------------
+    def emit(self, mnemonic: str, operands: str = "",
+             target: str | None = None) -> None:
+        self._pending.append(Instruction(address=self._address,
+                                         mnemonic=mnemonic,
+                                         operands=operands, target=target))
+        self._address += INSTRUCTION_SIZE
+
+    def fresh_label(self, stem: str) -> str:
+        return f"{stem}{next(self._label_counter)}"
+
+    def seal_block(self) -> int:
+        """Close the pending block, register it, and return its id."""
+        block = self.cfg.new_block(self._pending_label,
+                                   tuple(self._pending),
+                                   loop_bound=self._pending_bound)
+        self._pending = []
+        self._pending_label = self.fresh_label("bb")
+        self._pending_bound = None
+        return block.block_id
+
+    def open_new_block(self, label: str, *,
+                       loop_bound: int | None = None) -> None:
+        if self._pending:
+            raise CompilationError("opening a block with pending code")
+        self._pending_label = label
+        self._pending_bound = loop_bound
+
+    @property
+    def current_address(self) -> int:
+        return self._address
+
+
+def compile_function(function: Function) -> FunctionCode:
+    """Compile one function to a :class:`FunctionCode`."""
+    emitter = _Emitter(function.name)
+
+    for mnemonic, operands in _PROLOGUE:
+        emitter.emit(mnemonic, operands)
+    # The prologue flows into the body; compile statements into a chain
+    # of blocks.  `tail` is the id of the last sealed block whose
+    # control falls through to whatever comes next.
+    tail = _compile_sequence(emitter, function.body, tail=None)
+
+    emitter.open_new_block("epilogue")
+    for mnemonic, operands in _EPILOGUE:
+        emitter.emit(mnemonic, operands)
+    epilogue = emitter.seal_block()
+    if tail is not None:
+        emitter.cfg.add_edge(tail, epilogue)
+
+    cfg = emitter.cfg
+    # The prologue block is sealed lazily by _compile_sequence; it is
+    # the unique block carrying the label "entry".
+    [entry] = [b.block_id for b in cfg.blocks.values()
+               if b.label == "entry"]
+    cfg.set_entry(entry)
+    cfg.set_exit(epilogue)
+    cfg.validate()
+    return FunctionCode(name=function.name, cfg=cfg,
+                        call_sites=tuple(emitter.call_sites),
+                        size_bytes=emitter.current_address)
+
+
+def _compile_sequence(emitter: _Emitter, statements: tuple[Stmt, ...],
+                      tail: int | None) -> int | None:
+    """Compile statements; returns the id of the open-ended last block.
+
+    ``tail`` is a previously sealed block that must flow into the next
+    code we emit (e.g. the block before a join).  The function keeps
+    appending into the emitter's pending block; whenever a statement
+    forces a block boundary (branch, loop, call) the pending block is
+    sealed and wired.
+    """
+    for statement in statements:
+        if isinstance(statement, Compute):
+            _compile_compute(emitter, statement)
+        elif isinstance(statement, Loop):
+            tail = _compile_loop(emitter, statement, tail)
+        elif isinstance(statement, If):
+            tail = _compile_if(emitter, statement, tail)
+        elif isinstance(statement, Call):
+            tail = _compile_call(emitter, statement, tail)
+        else:
+            raise CompilationError(
+                f"unknown statement type {type(statement).__name__}")
+    # Seal whatever straight-line code is still pending.
+    sealed = emitter.seal_block()
+    if tail is not None:
+        emitter.cfg.add_edge(tail, sealed)
+    return sealed
+
+
+def _compile_compute(emitter: _Emitter, statement: Compute) -> None:
+    for index in range(statement.units):
+        mnemonic = _COMPUTE_PATTERN[index % len(_COMPUTE_PATTERN)]
+        emitter.emit(mnemonic, "t0,t1,t2" if mnemonic not in ("lw", "sw")
+                     else "t0,0(fp)")
+
+
+def _compile_loop(emitter: _Emitter, statement: Loop,
+                  tail: int | None) -> int:
+    cfg = emitter.cfg
+    # Loop counter initialisation ends the current block.
+    emitter.emit("li", "t0,0")
+    emitter.emit("sw", "t0,8(fp)")
+    before = emitter.seal_block()
+    if tail is not None:
+        cfg.add_edge(tail, before)
+
+    header_label = emitter.fresh_label("loop_head")
+    emitter.open_new_block(header_label,
+                           loop_bound=statement.iterations + 1)
+    emitter.emit("lw", "t0,8(fp)")
+    emitter.emit("slti", "t1,t0," + str(statement.iterations))
+    emitter.emit("beq", "t1,zero", target=emitter.fresh_label("loop_exit"))
+    header = emitter.seal_block()
+    cfg.add_edge(before, header)
+
+    body_tail = _compile_sequence(emitter, statement.body, tail=header)
+    # Latch: increment and jump back to the header.  Appended as its
+    # own block so the back edge is explicit.
+    emitter.open_new_block(emitter.fresh_label("loop_latch"))
+    emitter.emit("lw", "t0,8(fp)")
+    emitter.emit("addiu", "t0,t0,1")
+    emitter.emit("sw", "t0,8(fp)")
+    emitter.emit("j", target=header_label)
+    latch = emitter.seal_block()
+    if body_tail is not None:
+        cfg.add_edge(body_tail, latch)
+    cfg.add_edge(latch, header)
+    # Execution continues at the loop exit; the header is the dangling
+    # tail that flows into the next statement's code.
+    return header
+
+
+def _compile_if(emitter: _Emitter, statement: If, tail: int | None) -> int:
+    cfg = emitter.cfg
+    emitter.emit("lw", "t0,12(fp)")
+    emitter.emit("beq", "t0,zero",
+                 target=emitter.fresh_label("else"))
+    cond = emitter.seal_block()
+    if tail is not None:
+        cfg.add_edge(tail, cond)
+
+    emitter.open_new_block(emitter.fresh_label("then"))
+    then_tail = _compile_sequence(emitter, statement.then, tail=cond)
+
+    if statement.orelse:
+        # Skip over the else branch.
+        join_label = emitter.fresh_label("join")
+        emitter.open_new_block(emitter.fresh_label("then_end"))
+        emitter.emit("j", target=join_label)
+        then_exit = emitter.seal_block()
+        cfg.add_edge(then_tail, then_exit)
+
+        emitter.open_new_block(emitter.fresh_label("else"))
+        else_tail = _compile_sequence(emitter, statement.orelse, tail=cond)
+
+        emitter.open_new_block(join_label)
+        join = emitter.seal_block()
+        cfg.add_edge(then_exit, join)
+        cfg.add_edge(else_tail, join)
+        return join
+
+    emitter.open_new_block(emitter.fresh_label("join"))
+    join = emitter.seal_block()
+    cfg.add_edge(then_tail, join)
+    cfg.add_edge(cond, join)
+    return join
+
+
+def _compile_call(emitter: _Emitter, statement: Call,
+                  tail: int | None) -> int:
+    cfg = emitter.cfg
+    emitter.emit("move", "a0,t0")
+    emitter.emit("jal", target=statement.callee)
+    call_block = emitter.seal_block()
+    if tail is not None:
+        cfg.add_edge(tail, call_block)
+    emitter.call_sites.append((call_block, statement.callee))
+
+    emitter.open_new_block(emitter.fresh_label("ret"))
+    continuation = emitter.seal_block()
+    cfg.add_edge(call_block, continuation)
+    return continuation

@@ -1,0 +1,66 @@
+"""objdump-style listings of compiled programs.
+
+Useful for debugging the code generator, documenting the benchmark
+stand-ins, and eyeballing cache-set pressure: the listing annotates
+every instruction with its memory block and cache set for a given
+geometry.
+"""
+
+from __future__ import annotations
+
+from repro.cache import CacheGeometry
+from repro.minic.link import CompiledProgram
+
+
+def dump_program(compiled: CompiledProgram,
+                 geometry: CacheGeometry | None = None) -> str:
+    """Disassembly of all functions, in layout order."""
+    sections = []
+    for image in compiled.layout.images:
+        code = compiled.functions[image.name]
+        sections.append(_dump_function(code, image.base_address, geometry))
+    return "\n\n".join(sections)
+
+
+def _dump_function(code, base_address: int,
+                   geometry: CacheGeometry | None) -> str:
+    lines = [f"{base_address:08x} <{code.name}>:"]
+    blocks = sorted(
+        (block for block in code.cfg.blocks.values() if block.instructions),
+        key=lambda block: block.start_address)
+    for block in blocks:
+        suffix = (f"  ; loop header, bound {block.loop_bound}"
+                  if block.loop_bound is not None else "")
+        lines.append(f"  {block.label}:{suffix}")
+        for instruction in block.instructions:
+            annotation = ""
+            if geometry is not None:
+                annotation = (f"   # line {geometry.block_of(instruction.address):#x}"
+                              f" set {geometry.set_of(instruction.address):2d}")
+            operand_text = instruction.operands
+            if instruction.target is not None:
+                operand_text = (operand_text + " " if operand_text
+                                else "") + f"<{instruction.target}>"
+            lines.append(f"    {instruction.address:08x}:  "
+                         f"{instruction.mnemonic:<6s} "
+                         f"{operand_text:<18s}{annotation}")
+    return "\n".join(lines)
+
+
+def set_pressure_report(compiled: CompiledProgram,
+                        geometry: CacheGeometry) -> str:
+    """Distinct memory blocks per cache set — the conflict profile.
+
+    This is the quantity that decides the Figure 4 category of a
+    benchmark: sets holding more distinct blocks than the (possibly
+    degraded) associativity lose their temporal locality.
+    """
+    per_set: dict[int, set[int]] = {s: set() for s in range(geometry.sets)}
+    for address in compiled.cfg.distinct_addresses():
+        per_set[geometry.set_of(address)].add(geometry.block_of(address))
+    lines = [f"set pressure for {compiled.name!r} on {geometry}:"]
+    for set_index in range(geometry.sets):
+        count = len(per_set[set_index])
+        bar = "#" * min(count, 60)
+        lines.append(f"  set {set_index:2d}: {count:3d} blocks {bar}")
+    return "\n".join(lines)

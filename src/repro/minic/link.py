@@ -1,0 +1,140 @@
+"""Linking and virtual inlining.
+
+Two steps happen here:
+
+1. **Linking** — every function's code is placed in the text segment in
+   definition order (the gcc default linker layout used by the paper)
+   and its instructions are relocated to absolute addresses.
+2. **Virtual inlining** — the per-function CFGs are stitched into one
+   program-level analysis CFG.  Each call site splices in a *copy* of
+   the callee's blocks (fresh block ids, context-qualified labels)
+   while keeping the relocated addresses, so the analysis is context
+   sensitive but the cache sees a single copy of the code, exactly as
+   in the real binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg import CFG
+from repro.cfg.basic_block import BasicBlock
+from repro.errors import CompilationError, RecursionUnsupportedError
+from repro.isa import MemoryLayout
+from repro.minic.ast import Program
+from repro.minic.codegen import FunctionCode, compile_function
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """Result of compiling and linking a MiniC program.
+
+    Attributes
+    ----------
+    program:
+        The source AST.
+    functions:
+        Relocated per-function code, keyed by name.
+    layout:
+        The memory layout that assigned the base addresses.
+    cfg:
+        The program-level analysis CFG (virtually inlined).
+    """
+
+    program: Program
+    functions: dict[str, FunctionCode]
+    layout: MemoryLayout
+    cfg: CFG
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    def code_size_bytes(self) -> int:
+        return self.layout.total_code_bytes
+
+
+def compile_program(program: Program,
+                    layout: MemoryLayout | None = None) -> CompiledProgram:
+    """Compile, link and virtually inline a whole program."""
+    if layout is None:
+        layout = MemoryLayout()
+    relocated: dict[str, FunctionCode] = {}
+    for function in program.functions:
+        code = compile_function(function)
+        image = layout.place(function.name, code.size_bytes)
+        relocated[function.name] = _relocate(code, image.base_address)
+
+    cfg = _build_analysis_cfg(program, relocated)
+    return CompiledProgram(program=program, functions=relocated,
+                           layout=layout, cfg=cfg)
+
+
+def _relocate(code: FunctionCode, base: int) -> FunctionCode:
+    """Rebase all instruction addresses of a function by ``base``."""
+    new_cfg = CFG(name=code.cfg.name)
+    for block in code.cfg.blocks.values():
+        moved = tuple(
+            instruction.with_address(instruction.address + base)
+            for instruction in block.instructions)
+        new_cfg.add_block(BasicBlock(block_id=block.block_id,
+                                     label=block.label,
+                                     instructions=moved,
+                                     loop_bound=block.loop_bound,
+                                     context=block.context))
+    for src, dst in code.cfg.edges():
+        new_cfg.add_edge(src, dst)
+    new_cfg.set_entry(code.cfg.entry_id)
+    new_cfg.set_exit(code.cfg.exit_id)
+    return FunctionCode(name=code.name, cfg=new_cfg,
+                        call_sites=code.call_sites,
+                        size_bytes=code.size_bytes)
+
+
+def _build_analysis_cfg(program: Program,
+                        functions: dict[str, FunctionCode]) -> CFG:
+    out = CFG(name=program.name)
+
+    def clone(function_name: str, context: tuple[str, ...],
+              active: tuple[str, ...]) -> tuple[int, int]:
+        """Copy ``function_name`` into ``out``; return (entry, exit)."""
+        if function_name in active:
+            chain = " -> ".join(active + (function_name,))
+            raise RecursionUnsupportedError(
+                f"recursive call chain during inlining: {chain}")
+        code = functions[function_name]
+        mapping: dict[int, int] = {}
+        for block in code.cfg.blocks.values():
+            copy = out.new_block(
+                label=f"{function_name}.{block.label}",
+                instructions=block.instructions,
+                loop_bound=block.loop_bound,
+                context=context)
+            mapping[block.block_id] = copy.block_id
+
+        call_blocks = {block_id for block_id, _callee in code.call_sites}
+        for src, dst in code.cfg.edges():
+            if src in call_blocks:
+                continue  # replaced by the splice below
+            out.add_edge(mapping[src], mapping[dst])
+
+        for block_id, callee in code.call_sites:
+            successors = code.cfg.successors(block_id)
+            if len(successors) != 1:
+                raise CompilationError(
+                    f"call block {block_id} in {function_name!r} must have "
+                    f"exactly one continuation, found {len(successors)}")
+            continuation = successors[0]
+            site = f"{function_name}@{block_id}->{callee}"
+            callee_entry, callee_exit = clone(
+                callee, context + (site,), active + (function_name,))
+            out.add_edge(mapping[block_id], callee_entry)
+            out.add_edge(callee_exit, mapping[continuation])
+
+        return mapping[code.cfg.entry_id], mapping[code.cfg.exit_id]
+
+    entry, exit_ = clone(program.entry, (), ())
+    out.set_entry(entry)
+    out.set_exit(exit_)
+    out.validate()
+    return out

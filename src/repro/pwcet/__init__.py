@@ -1,0 +1,17 @@
+"""Probabilistic WCET machinery: distributions, exceedance, estimation."""
+
+from repro.pwcet.distribution import DiscreteDistribution
+from repro.pwcet.exceedance import ExceedanceCurve
+from repro.pwcet.estimator import (
+    EstimatorConfig,
+    PWCETEstimate,
+    PWCETEstimator,
+)
+
+__all__ = [
+    "DiscreteDistribution",
+    "ExceedanceCurve",
+    "EstimatorConfig",
+    "PWCETEstimate",
+    "PWCETEstimator",
+]

@@ -1,0 +1,189 @@
+"""Discrete probability distributions over non-negative integers.
+
+The per-set fault-penalty distributions of the paper have at most
+``W + 1`` support points (one per possible number of faulty ways);
+the total penalty distribution is their convolution across sets
+(Figure 1.b).  We keep exact dense PMFs on an integer grid — penalties
+are measured in *misses*, so grids stay small — and convolve with
+shifted adds, which is exact (no FFT round-off in the 1e-15 tail the
+paper's quantiles live in).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import DistributionError
+
+#: Tolerance on total probability mass.
+_MASS_TOLERANCE = 1e-9
+
+
+class DiscreteDistribution:
+    """An exact PMF over ``{0, 1, ..., n}`` (values are e.g. miss counts)."""
+
+    __slots__ = ("_pmf",)
+
+    def __init__(self, pmf: np.ndarray | Iterable[float], *,
+                 normalized: bool = True) -> None:
+        array = np.asarray(pmf, dtype=np.float64)
+        if array.ndim != 1 or array.size == 0:
+            raise DistributionError("pmf must be a non-empty 1-D array")
+        if np.any(array < 0.0) or not np.all(np.isfinite(array)):
+            raise DistributionError("pmf entries must be finite and >= 0")
+        if normalized:
+            mass = float(array.sum())
+            if abs(mass - 1.0) > _MASS_TOLERANCE:
+                raise DistributionError(
+                    f"pmf mass {mass} deviates from 1 by more than "
+                    f"{_MASS_TOLERANCE}")
+        self._pmf = array
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def point_mass(cls, value: int = 0) -> "DiscreteDistribution":
+        if value < 0:
+            raise DistributionError(f"negative value {value}")
+        pmf = np.zeros(value + 1)
+        pmf[value] = 1.0
+        return cls(pmf)
+
+    @classmethod
+    def from_points(cls, points: Mapping[int, float], *,
+                    normalized: bool = True) -> "DiscreteDistribution":
+        """Build from sparse {value: probability} points."""
+        if not points:
+            raise DistributionError("no support points")
+        top = max(points)
+        if min(points) < 0:
+            raise DistributionError("negative support value")
+        pmf = np.zeros(top + 1)
+        for value, probability in points.items():
+            pmf[value] += probability
+        return cls(pmf, normalized=normalized)
+
+    # -- basic accessors --------------------------------------------------
+    @property
+    def pmf(self) -> np.ndarray:
+        """The PMF array (do not mutate)."""
+        return self._pmf
+
+    @property
+    def support_max(self) -> int:
+        return len(self._pmf) - 1
+
+    @property
+    def total_mass(self) -> float:
+        return float(self._pmf.sum())
+
+    def probability_of(self, value: int) -> float:
+        if not 0 <= value <= self.support_max:
+            return 0.0
+        return float(self._pmf[value])
+
+    def mean(self) -> float:
+        return float(np.dot(self._pmf, np.arange(len(self._pmf))))
+
+    # -- operations -------------------------------------------------------
+    def convolve(self, other: "DiscreteDistribution") -> "DiscreteDistribution":
+        """Distribution of the sum of two independent variables.
+
+        Sparse-aware: when one operand has few non-zero points the
+        convolution is done with shifted adds (exact and fast for the
+        per-set penalty distributions); otherwise ``np.convolve``.
+        """
+        left, right = self._pmf, other._pmf
+        # Use the sparser operand as the shift driver.
+        left_nz = np.flatnonzero(left)
+        right_nz = np.flatnonzero(right)
+        if len(right_nz) < len(left_nz):
+            left, right = right, left
+            left_nz, right_nz = right_nz, left_nz
+        if len(left_nz) <= 64:
+            result = np.zeros(len(left) + len(right) - 1)
+            for value in left_nz:
+                result[value:value + len(right)] += left[value] * right
+        else:
+            result = np.convolve(left, right)
+        return DiscreteDistribution(result, normalized=False)
+
+    @staticmethod
+    def convolve_all(distributions: Iterable["DiscreteDistribution"]
+                     ) -> "DiscreteDistribution":
+        """Convolution of many independent distributions.
+
+        Sets are independent (paper §II-C), so the total fault penalty
+        is the convolution of the per-set penalty distributions.
+        """
+        result: DiscreteDistribution | None = None
+        for distribution in distributions:
+            result = (distribution if result is None
+                      else result.convolve(distribution))
+        if result is None:
+            return DiscreteDistribution.point_mass(0)
+        return result
+
+    def scale_values(self, factor: int) -> "DiscreteDistribution":
+        """Distribution of ``factor * X`` (e.g. misses -> cycles)."""
+        if factor < 1:
+            raise DistributionError(f"factor must be >= 1, got {factor}")
+        if factor == 1:
+            return self
+        pmf = np.zeros(self.support_max * factor + 1)
+        pmf[::factor] = self._pmf
+        return DiscreteDistribution(pmf, normalized=False)
+
+    def shift(self, offset: int) -> "DiscreteDistribution":
+        """Distribution of ``X + offset``."""
+        if offset < 0:
+            raise DistributionError(f"offset must be >= 0, got {offset}")
+        if offset == 0:
+            return self
+        pmf = np.concatenate([np.zeros(offset), self._pmf])
+        return DiscreteDistribution(pmf, normalized=False)
+
+    # -- tail queries -------------------------------------------------------
+    def ccdf(self) -> np.ndarray:
+        """``ccdf[v] = P(X > v)``, computed tail-first for accuracy.
+
+        Summing from the largest value (smallest probabilities in the
+        fault setting) avoids float cancellation in the deep tail,
+        where the paper's 1e-15 exceedance threshold lives.
+        """
+        suffix = np.cumsum(self._pmf[::-1])[::-1]  # P(X >= v)
+        ccdf = np.empty_like(suffix)
+        ccdf[:-1] = suffix[1:]
+        ccdf[-1] = 0.0
+        return ccdf
+
+    def quantile_exceedance(self, probability: float) -> int:
+        """Smallest ``v`` with ``P(X > v) <= probability``.
+
+        This is the paper's pWCET reading: the value the random
+        variable exceeds with probability at most ``p``.
+        """
+        if not 0.0 < probability < 1.0:
+            raise DistributionError(
+                f"exceedance probability must be in (0, 1), "
+                f"got {probability}")
+        ccdf = self.ccdf()
+        indices = np.flatnonzero(ccdf <= probability)
+        if len(indices) == 0:
+            # Total mass may slightly exceed 1 only by construction
+            # errors; by definition ccdf[support_max] == 0 <= p.
+            return self.support_max
+        return int(indices[0])
+
+    # -- dunder -----------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiscreteDistribution):
+            return NotImplemented
+        if len(self._pmf) != len(other._pmf):
+            return False
+        return bool(np.array_equal(self._pmf, other._pmf))
+
+    def __repr__(self) -> str:
+        return (f"DiscreteDistribution(support=[0, {self.support_max}], "
+                f"mass={self.total_mass:.12g})")

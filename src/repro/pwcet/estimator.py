@@ -1,0 +1,212 @@
+"""End-to-end probabilistic WCET estimation.
+
+:class:`PWCETEstimator` glues the whole pipeline together for one
+program and one hardware configuration:
+
+1. static cache analysis and fault-free IPET WCET (§II-B);
+2. fault miss map per reliability mechanism (§II-C, §III-B);
+3. per-set penalty distributions (values ``FMM[s][f]``, probabilities
+   eq. 2 or eq. 3) convolved across sets (Figure 1.b);
+4. pWCET = fault-free WCET + memory latency * penalty quantile at the
+   target exceedance probability (the paper uses 1e-15).
+
+All intermediate artefacts are memoised: the estimator runs the cache
+analysis once per associativity and builds a single flow polytope that
+every ILP (WCET and all FMM entries) reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import CacheAnalysis
+from repro.cache import CacheGeometry
+from repro.cfg import CFG
+from repro.errors import EstimationError
+from repro.faults import FaultProbabilityModel
+from repro.fmm import FaultMissMap, compute_fault_miss_map
+from repro.ipet import FlowModel, TimingModel, compute_wcet
+from repro.minic import CompiledProgram
+from repro.pwcet.distribution import DiscreteDistribution
+from repro.pwcet.exceedance import ExceedanceCurve
+from repro.reliability import ReliabilityMechanism, mechanism_by_name
+from repro.util import check_probability
+
+#: Exceedance probability used throughout the paper's evaluation
+#: (1e-15 per task activation, aerospace commercial level).
+TARGET_EXCEEDANCE = 1e-15
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """Hardware-side parameters of an estimation run.
+
+    Defaults are the paper's experimental setup (§IV-A): 1 KB 4-way
+    16 B-line LRU instruction cache, 1-cycle cache / 100-cycle memory
+    latency, ``pfail = 1e-4``.
+    """
+
+    geometry: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry.from_size(1024, 4, 16))
+    timing: TimingModel = field(default_factory=TimingModel)
+    pfail: float = 1e-4
+    #: Solve LP relaxations instead of ILPs (sound, looser, faster).
+    relaxed: bool = False
+
+    def fault_model(self) -> FaultProbabilityModel:
+        return FaultProbabilityModel(geometry=self.geometry,
+                                     pfail=self.pfail)
+
+
+@dataclass(frozen=True)
+class PWCETEstimate:
+    """Everything known about one (program, mechanism) estimation."""
+
+    program_name: str
+    mechanism_name: str
+    wcet_fault_free: int
+    #: Fault-penalty distribution in *misses*.
+    penalty_misses: DiscreteDistribution
+    timing: TimingModel
+    fmm: FaultMissMap = field(repr=False)
+    #: Probability mass excluded by the analysis' assumptions (0 for
+    #: the paper's mechanisms; > 0 for refined analyses like ``srb+``).
+    exceedance_correction: float = 0.0
+
+    def pwcet(self, probability: float = TARGET_EXCEEDANCE) -> int:
+        """pWCET in cycles at the given exceedance probability."""
+        check_probability(probability, "probability", allow_zero=False,
+                          allow_one=False)
+        effective = probability - self.exceedance_correction
+        if effective <= 0.0:
+            raise EstimationError(
+                f"target probability {probability:g} is below the "
+                f"analysis' excluded mass "
+                f"{self.exceedance_correction:g}; the "
+                f"{self.mechanism_name!r} analysis cannot certify this "
+                "level — use the baseline 'srb' mechanism instead")
+        quantile = self.penalty_misses.quantile_exceedance(effective)
+        return self.wcet_fault_free + quantile * self.timing.memory_cycles
+
+    def exceedance_curve(self) -> ExceedanceCurve:
+        """The Figure 3 curve for this estimate."""
+        curve = ExceedanceCurve.from_penalty_distribution(
+            self.penalty_misses, self.wcet_fault_free,
+            self.timing.memory_cycles,
+            label=f"{self.program_name}/{self.mechanism_name}")
+        if self.exceedance_correction == 0.0:
+            return curve
+        import numpy as np
+        lifted = np.minimum(
+            curve.probabilities + self.exceedance_correction, 1.0)
+        return ExceedanceCurve(values=curve.values, probabilities=lifted,
+                               label=curve.label)
+
+    def penalty_quantile_misses(self,
+                                probability: float = TARGET_EXCEEDANCE
+                                ) -> int:
+        return self.penalty_misses.quantile_exceedance(probability)
+
+
+class PWCETEstimator:
+    """Memoising pipeline driver for one program + configuration."""
+
+    def __init__(self, program: CompiledProgram | CFG,
+                 config: EstimatorConfig | None = None,
+                 name: str | None = None) -> None:
+        if config is None:
+            config = EstimatorConfig()
+        cfg = program.cfg if isinstance(program, CompiledProgram) else program
+        self._cfg = cfg
+        self._config = config
+        self._name = name if name is not None else cfg.name
+        self._analysis = CacheAnalysis(cfg, config.geometry)
+        self._flow_model = FlowModel(cfg, self._analysis.forest)
+        self._fault_model = config.fault_model()
+        self._wcet_fault_free: int | None = None
+        self._fmm_cache: dict[str, FaultMissMap] = {}
+        self._estimates: dict[str, PWCETEstimate] = {}
+
+    @property
+    def config(self) -> EstimatorConfig:
+        return self._config
+
+    @property
+    def analysis(self) -> CacheAnalysis:
+        return self._analysis
+
+    @property
+    def fault_model(self) -> FaultProbabilityModel:
+        return self._fault_model
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    # ------------------------------------------------------------------
+    def fault_free_wcet(self) -> int:
+        """The deterministic WCET on a fault-free cache (§II-B)."""
+        if self._wcet_fault_free is None:
+            result = compute_wcet(
+                self._cfg, self._analysis.classification(),
+                self._config.timing, flow_model=self._flow_model,
+                relaxed=self._config.relaxed)
+            self._wcet_fault_free = result.cycles
+        return self._wcet_fault_free
+
+    def fault_miss_map(self,
+                       mechanism: ReliabilityMechanism | str) -> FaultMissMap:
+        mechanism = self._resolve(mechanism)
+        if mechanism.name not in self._fmm_cache:
+            self._fmm_cache[mechanism.name] = compute_fault_miss_map(
+                self._analysis, mechanism, flow_model=self._flow_model,
+                relaxed=self._config.relaxed)
+        return self._fmm_cache[mechanism.name]
+
+    def penalty_distribution(self, mechanism: ReliabilityMechanism | str
+                             ) -> DiscreteDistribution:
+        """Whole-cache fault penalty distribution, in misses."""
+        mechanism = self._resolve(mechanism)
+        fmm = self.fault_miss_map(mechanism)
+        pmf = mechanism.fault_pmf(self._fault_model)
+        per_set = []
+        for set_index in range(self._config.geometry.sets):
+            points: dict[int, float] = {}
+            for fault_count, probability in pmf.items():
+                penalty = fmm.misses(set_index, fault_count)
+                points[penalty] = points.get(penalty, 0.0) + probability
+            if set(points) == {0}:
+                continue  # identity of convolution
+            per_set.append(DiscreteDistribution.from_points(points))
+        return DiscreteDistribution.convolve_all(per_set)
+
+    def estimate(self, mechanism: ReliabilityMechanism | str
+                 ) -> PWCETEstimate:
+        """Full pWCET estimate for one mechanism (memoised)."""
+        mechanism = self._resolve(mechanism)
+        if mechanism.name not in self._estimates:
+            self._estimates[mechanism.name] = PWCETEstimate(
+                program_name=self._name,
+                mechanism_name=mechanism.name,
+                wcet_fault_free=self.fault_free_wcet(),
+                penalty_misses=self.penalty_distribution(mechanism),
+                timing=self._config.timing,
+                fmm=self.fault_miss_map(mechanism),
+                exceedance_correction=mechanism.exceedance_correction(
+                    self._fault_model, self._config.geometry.sets))
+        return self._estimates[mechanism.name]
+
+    def estimate_all(self) -> dict[str, PWCETEstimate]:
+        """Estimates for the paper's three configurations."""
+        return {name: self.estimate(name) for name in ("none", "srb", "rw")}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve(mechanism: ReliabilityMechanism | str
+                 ) -> ReliabilityMechanism:
+        if isinstance(mechanism, str):
+            return mechanism_by_name(mechanism)
+        if not isinstance(mechanism, ReliabilityMechanism):
+            raise EstimationError(
+                f"expected a mechanism or name, got {mechanism!r}")
+        return mechanism

@@ -1,0 +1,91 @@
+"""Exceedance curves — the paper's complementary cumulative view.
+
+Figure 3 of the paper plots, for each protection level, the function
+``p(x) = P(WCET > x)``: the probability that the (chip-population)
+WCET exceeds ``x`` cycles.  The pWCET at a target probability ``p`` is
+the smallest ``x`` whose exceedance is at most ``p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.pwcet.distribution import DiscreteDistribution
+
+
+@dataclass(frozen=True)
+class ExceedanceCurve:
+    """A right-continuous step function ``P(WCET > value)``.
+
+    ``values`` are WCET candidates in cycles (strictly increasing) and
+    ``probabilities[i] = P(WCET > values[i])``; both arrays only keep
+    the support points where the probability actually drops.
+    """
+
+    values: np.ndarray
+    probabilities: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.probabilities):
+            raise DistributionError("values/probabilities length mismatch")
+        if len(self.values) == 0:
+            raise DistributionError("empty exceedance curve")
+        if np.any(np.diff(self.values) <= 0):
+            raise DistributionError("values must be strictly increasing")
+        if (np.any(self.probabilities < 0)
+                or np.any(self.probabilities > 1 + 1e-9)):
+            raise DistributionError("probabilities outside [0, 1]")
+        if np.any(np.diff(self.probabilities) > 1e-15):
+            raise DistributionError("exceedance must be non-increasing")
+
+    @classmethod
+    def from_penalty_distribution(cls, penalty_misses: DiscreteDistribution,
+                                  wcet_fault_free: int, memory_cycles: int,
+                                  label: str = "") -> "ExceedanceCurve":
+        """Lift a penalty distribution (in misses) to a cycles curve.
+
+        Each penalty point ``m`` maps to ``wcet_ff + m * memory_cycles``
+        cycles; probabilities are the distribution's CCDF restricted to
+        the support (plus the origin so the curve always starts at the
+        fault-free WCET).
+        """
+        pmf = penalty_misses.pmf
+        ccdf = penalty_misses.ccdf()
+        support = np.flatnonzero(pmf)
+        if len(support) == 0 or support[0] != 0:
+            support = np.concatenate([[0], support])
+        values = wcet_fault_free + support.astype(np.int64) * memory_cycles
+        probabilities = ccdf[support]
+        return cls(values=values, probabilities=probabilities, label=label)
+
+    def pwcet(self, probability: float) -> int:
+        """Smallest value whose exceedance is <= ``probability``."""
+        if not 0.0 < probability < 1.0:
+            raise DistributionError(
+                f"target probability must be in (0, 1), got {probability}")
+        indices = np.flatnonzero(self.probabilities <= probability)
+        if len(indices) == 0:
+            raise DistributionError(
+                f"curve never reaches exceedance {probability}; "
+                "the penalty distribution is truncated")
+        return int(self.values[indices[0]])
+
+    def exceedance_at(self, value: float) -> float:
+        """``P(WCET > value)`` for an arbitrary value."""
+        index = int(np.searchsorted(self.values, value, side="right")) - 1
+        if index < 0:
+            return 1.0
+        return float(self.probabilities[index])
+
+    def rows(self) -> list[tuple[int, float]]:
+        """(value, exceedance) pairs, e.g. for printing Figure 3 data."""
+        return [(int(value), float(probability))
+                for value, probability in zip(self.values,
+                                              self.probabilities)]
+
+    def __len__(self) -> int:
+        return len(self.values)

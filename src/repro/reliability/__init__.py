@@ -1,0 +1,21 @@
+"""Cache reliability mechanisms (paper Section III)."""
+
+from repro.reliability.mechanism import (
+    MECHANISMS,
+    NoProtection,
+    ReliabilityMechanism,
+    ReliableWay,
+    SharedReliableBuffer,
+    mechanism_by_name,
+)
+from repro.reliability.srb_analysis import srb_always_hit_references
+
+__all__ = [
+    "MECHANISMS",
+    "NoProtection",
+    "ReliabilityMechanism",
+    "ReliableWay",
+    "SharedReliableBuffer",
+    "mechanism_by_name",
+    "srb_always_hit_references",
+]

@@ -1,0 +1,43 @@
+"""Static analysis of the Shared Reliable Buffer (paper §III-B2).
+
+The SRB holds exactly one cache line and is shared by every set, so at
+the analysis level it behaves as a 1-set / 1-way cache observing the
+*whole* reference stream: any fetch of a different memory block may
+reload it.  The paper's conservative assumption — no information is
+retained in the SRB between distinct series of successive accesses —
+is exactly the Must analysis of that tiny cache: a reference is a
+guaranteed SRB hit iff, on every path, the immediately preceding fetch
+touched the same memory block (spatial locality inside one line).
+
+Reusing :class:`~repro.analysis.must.MustAnalysis` with a 1x1 geometry
+gives precisely the behaviour of the paper's example: in the stream
+``a1 a2 b1 b2 a1 a2`` the second ``a2``/``b2`` are always-hit, the
+second ``a1`` is not.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.must import MustAnalysis
+from repro.cache import CacheGeometry
+from repro.cfg import CFG
+
+
+def srb_always_hit_references(cfg: CFG,
+                              geometry: CacheGeometry) -> frozenset[tuple[int, int]]:
+    """Reference positions guaranteed to hit in the SRB.
+
+    Returns the set of ``(block_id, instruction index)`` keys whose
+    fetch is an SRB hit whenever the SRB is in use.  The SRB line size
+    equals the L1 line size (the buffer is "the same size as a L1
+    cache block").
+    """
+    srb_geometry = CacheGeometry(sets=1, ways=1,
+                                 block_bytes=geometry.block_bytes)
+    must = MustAnalysis(cfg, srb_geometry)
+    always_hit: set[tuple[int, int]] = set()
+    for block_id in cfg.block_ids():
+        for reference, hit in zip(must.references(block_id),
+                                  must.guaranteed_hits(block_id)):
+            if hit:
+                always_hit.add(reference.key)
+    return frozenset(always_hit)

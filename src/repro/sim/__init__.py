@@ -1,0 +1,5 @@
+"""Concrete fault-injected execution, for validating the analyses."""
+
+from repro.sim.executor import ExecutionOutcome, TraceExecutor
+
+__all__ = ["ExecutionOutcome", "TraceExecutor"]

@@ -1,0 +1,1 @@
+"""One module per benchmark; each exposes ``build() -> Program``."""

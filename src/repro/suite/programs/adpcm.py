@@ -1,0 +1,71 @@
+"""adpcm — CCITT G.722 adaptive differential PCM encoder/decoder.
+
+The largest Mälardalen benchmark used in the paper (Figure 3 plots its
+exceedance curves): a sample loop driving a pipeline of filter and
+quantiser helpers.  The stand-in keeps the call structure — a main
+loop invoking quantiser, filter and predictor-update functions, each
+with its own small loops and decision code — giving a multi-KB
+footprint with mixed spatial and temporal locality (category 4
+behaviour in Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.minic import Call, Compute, Function, If, Loop, Program
+from repro.suite.shapes import if_chain
+
+
+def build() -> Program:
+    quantl = Function("quantl", [
+        Compute(6, "log search setup"),
+        Loop(6, [Compute(5, "table compare"), If([Compute(3, "match")])]),
+        Compute(8, "quantised code"),
+    ])
+    logscl = Function("logscl", [Compute(14, "log scale update")])
+    scalel = Function("scalel", [Compute(11, "linear scale")])
+    upzero = Function("upzero", [
+        Compute(5),
+        Loop(6, [Compute(7, "zero-section coefficient update")]),
+    ])
+    uppol2 = Function("uppol2", [
+        Compute(10), If([Compute(5)], [Compute(5)], "sign logic"),
+        Compute(6),
+    ])
+    uppol1 = Function("uppol1", [
+        Compute(8), If([Compute(4)], [Compute(4)]), Compute(5),
+    ])
+    filtez = Function("filtez", [
+        Loop(6, [Compute(6, "zero-section MAC")]), Compute(4),
+    ])
+    filtep = Function("filtep", [Compute(12, "pole-section filter")])
+
+    encode = Function("encode", [
+        Call("filtez"), Call("filtep"),
+        Compute(8, "prediction difference"),
+        Call("quantl"),
+        Call("logscl"), Call("scalel"),
+        Call("upzero"), Call("uppol2"), Call("uppol1"),
+        Compute(6, "code packing"),
+    ])
+    decode = Function("decode", [
+        Call("filtez"), Call("filtep"),
+        Compute(5, "reconstruct"),
+        *if_chain(4, 6),  # dequantiser decision tree
+        Call("logscl"), Call("scalel"),
+        Call("upzero"), Call("uppol2"), Call("uppol1"),
+        Compute(5),
+    ])
+
+    main = Function("main", [
+        Compute(12, "state initialisation"),
+        Loop(24, [Compute(6, "filter bank init")]),
+        Loop(100, [
+            Compute(6, "fetch sample pair"),
+            Call("encode"),
+            Call("decode"),
+            Compute(4, "store outputs"),
+        ]),
+        Compute(8, "teardown"),
+    ])
+    return Program([main, encode, decode, quantl, logscl, scalel, upzero,
+                    uppol2, uppol1, filtez, filtep], name="adpcm")

@@ -1,0 +1,25 @@
+"""bs — binary search over a 15-entry array.
+
+A tiny kernel: one bounded loop (log2(15) ~ 4 probes) with a three-way
+comparison inside.  The whole loop spans a handful of cache lines in
+distinct sets, so a single working way per set suffices to keep all of
+its temporal locality: the classic category-2 shape (RW restores the
+fault-free WCET, the SRB cannot hold the multi-line working set).
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, If, Loop, Program
+
+
+def build() -> Program:
+    main = Function("main", [
+        Compute(8, "bounds setup"),
+        Loop(4, [
+            Compute(6, "midpoint probe"),
+            If([Compute(4, "found: record and stop flag")],
+               [If([Compute(3, "go left")], [Compute(3, "go right")])]),
+        ]),
+        Compute(4, "result"),
+    ])
+    return Program([main], name="bs")

@@ -1,0 +1,27 @@
+"""bsort100 — bubble sort of a 100-element array.
+
+A 100 x 99 nested loop whose inner body is a compare-and-maybe-swap.
+The kernel is small (a few lines) but extremely hot: fault-induced
+misses in its sets get multiplied by ~10^4 executions, which is what
+makes the unprotected pWCET explode.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, Loop, Program
+from repro.suite.shapes import guarded_swap
+
+
+def build() -> Program:
+    main = Function("main", [
+        Loop(100, [Compute(4, "array init")]),
+        Loop(100, [
+            Compute(10, "outer index"),
+            Loop(99, [
+                Compute(42, "load neighbours, compare (O0 addressing)"),
+                guarded_swap(30),
+            ]),
+        ]),
+        Compute(4, "sorted flag"),
+    ])
+    return Program([main], name="bsort100")

@@ -1,0 +1,27 @@
+"""cnt — counts and sums positive/negative cells of a 10x10 matrix.
+
+Two passes over the matrix: an initialisation nest and a counting nest
+whose body takes a data-dependent branch per cell.  Both kernels are
+compact loops; the branchy counting body spreads over a few more lines
+than the init loop.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, If, Loop, Program
+
+
+def build() -> Program:
+    main = Function("main", [
+        Loop(10, [Compute(2), Loop(10, [Compute(5, "seed cell")])]),
+        Loop(10, [
+            Compute(3, "row setup"),
+            Loop(10, [
+                Compute(34, "load cell (2-D indexing)"),
+                If([Compute(26, "positive: add to postotal")],
+                   [Compute(26, "negative: add to negtotal")]),
+            ]),
+        ]),
+        Compute(6, "final totals"),
+    ])
+    return Program([main], name="cnt")

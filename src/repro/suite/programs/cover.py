@@ -1,0 +1,25 @@
+"""cover — loops over huge switch statements (coverage stress test).
+
+Three loops each sweeping a dense switch (60/30/20 cases in the C
+original); -O0 lowers the switches to long compare-and-branch chains,
+so the text footprint far exceeds the 1 KB cache and the only reuse
+the cache can capture is spatial (within a line).  Both reliability
+mechanisms preserve spatial locality completely — the category-1
+poster child where pWCET(RW) = pWCET(SRB) = fault-free WCET.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, Loop, Program
+from repro.suite.shapes import if_chain
+
+
+def build() -> Program:
+    main = Function("main", [
+        Compute(6, "volatile counter setup"),
+        Loop(60, [Compute(2, "swi60 dispatch"), *if_chain(30, 8)]),
+        Loop(30, [Compute(2, "swi30 dispatch"), *if_chain(15, 8)]),
+        Loop(20, [Compute(2, "swi20 dispatch"), *if_chain(10, 8)]),
+        Compute(4, "result"),
+    ])
+    return Program([main], name="cover")

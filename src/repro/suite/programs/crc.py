@@ -1,0 +1,31 @@
+"""crc — cyclic redundancy check over a 40-byte message.
+
+A table-generation loop (256 iterations calling the bitwise CRC
+helper) followed by the per-byte CRC loop with parity branches.
+Two hot kernels of moderate size executed back to back, plus a
+call into a helper from inside the hottest loop.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Call, Compute, Function, If, Loop, Program
+
+
+def build() -> Program:
+    icrc1 = Function("icrc1", [
+        Loop(8, [
+            Compute(4, "shift"),
+            If([Compute(22, "xor polynomial")], [Compute(14, "plain shift")]),
+        ]),
+        Compute(3),
+    ])
+    main = Function("main", [
+        Compute(8, "message setup"),
+        Loop(256, [Compute(24, "table entry"), Call("icrc1"), Compute(2)]),
+        Loop(40, [
+            Compute(6, "fetch byte, index tables"),
+            If([Compute(5, "high-bit path")], [Compute(4, "low-bit path")]),
+        ]),
+        Compute(5, "final xor / swap"),
+    ])
+    return Program([main, icrc1], name="crc")

@@ -1,0 +1,23 @@
+"""duff — Duff's device: an 8-way unrolled copy loop.
+
+The unrolled switch-entry idiom produces one long straight-line body
+re-executed a handful of times, plus a small tail loop.  The body
+spans ~2 cache lines per set, so part of its reuse lives outside the
+MRU position — partially protectable temporal locality.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, Loop, Program
+
+
+def build() -> Program:
+    main = Function("main", [
+        Compute(6, "copy setup"),
+        # 8-way unrolled copy body (~12 instructions per element copy).
+        Loop(6, [Compute(96, "unrolled copy of 8 elements")]),
+        # Remainder elements.
+        Loop(3, [Compute(10, "tail copy")]),
+        Compute(4, "checksum"),
+    ])
+    return Program([main], name="duff")

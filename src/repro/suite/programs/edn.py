@@ -1,0 +1,32 @@
+"""edn — vector/DSP kernel collection (vec_mpy, MAC, FIR, latsynth...).
+
+A sequence of independent signal-processing loops over 16-bit vectors.
+Each kernel is compact, but together they cover a couple of KB, so
+the kernels evict one another between phases: per-loop persistence
+with global capacity pressure.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, Loop, Program
+
+
+def build() -> Program:
+    main = Function("main", [
+        Compute(8, "buffers setup"),
+        Loop(150, [Compute(88, "vec_mpy1 scaled multiply")]),
+        Loop(150, [Compute(108, "mac: dual multiply-accumulate")]),
+        Loop(36, [
+            Compute(4, "fir output index"),
+            Loop(32, [Compute(30, "fir tap MAC")]),
+        ]),
+        Loop(8, [Compute(48, "latsynth lattice stage")]),
+        Loop(64, [Compute(98, "iir1 biquad")]),
+        Loop(8, [
+            Compute(3),
+            Loop(8, [Compute(18, "codebook search distance")]),
+        ]),
+        Loop(16, [Compute(22, "jpeg dct helper")]),
+        Compute(6, "results"),
+    ])
+    return Program([main], name="edn")

@@ -1,0 +1,24 @@
+"""expint — exponential integral function by series expansion.
+
+One main loop of 100 terms whose body conditionally runs a short
+inner continued-fraction loop on the first iteration class and a
+series accumulation otherwise — a loop with unbalanced branch arms.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, If, Loop, Program
+
+
+def build() -> Program:
+    main = Function("main", [
+        Compute(10, "argument setup"),
+        Loop(100, [
+            Compute(5, "term index arithmetic"),
+            If([Loop(10, [Compute(24, "continued fraction step")]),
+                Compute(4)],
+               [Compute(82, "series term accumulate")]),
+        ]),
+        Compute(6, "scale result"),
+    ])
+    return Program([main], name="expint")

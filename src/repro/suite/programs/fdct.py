@@ -1,0 +1,22 @@
+"""fdct — fast discrete cosine transform of an 8x8 block.
+
+Two passes of 8 iterations each (rows then columns); every iteration
+executes a long straight-line butterfly body (~25 cache lines).  The
+working set per cache set is between one and two lines: some of the
+temporal reuse sits in the MRU position and is protected, some does
+not — the mixed behaviour of Figure 4's category 3/4 boundary.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, Loop, Program
+
+
+def build() -> Program:
+    main = Function("main", [
+        Compute(6, "block setup"),
+        Loop(8, [Compute(92, "row butterfly pass")]),
+        Loop(8, [Compute(92, "column butterfly pass")]),
+        Compute(4, "store coefficients"),
+    ])
+    return Program([main], name="fdct")

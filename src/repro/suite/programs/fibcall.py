@@ -1,0 +1,19 @@
+"""fibcall — iterative Fibonacci (30 terms).
+
+The smallest benchmark of the suite: a single accumulation loop whose
+body fits in two cache lines.  All locality is temporal in the MRU
+position, fully preserved by the RW mechanism.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, Loop, Program
+
+
+def build() -> Program:
+    main = Function("main", [
+        Compute(4, "seed F0, F1"),
+        Loop(30, [Compute(7, "next term, shift window")]),
+        Compute(3, "return F(n)"),
+    ])
+    return Program([main], name="fibcall")

@@ -1,0 +1,23 @@
+"""fir — finite impulse response filter over a sample buffer.
+
+The canonical two-level DSP nest: an outer loop over output samples,
+an inner multiply-accumulate loop over the filter taps, with a gain
+correction step per sample.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, Loop, Program
+
+
+def build() -> Program:
+    main = Function("main", [
+        Compute(6, "coefficient setup"),
+        Loop(64, [
+            Compute(5, "output index, clear accumulator"),
+            Loop(16, [Compute(28, "tap MAC")]),
+            Compute(5, "scale and store sample"),
+        ]),
+        Compute(3),
+    ])
+    return Program([main], name="fir")

@@ -1,0 +1,23 @@
+"""insertsort — insertion sort of a 10-element array.
+
+The classic shift-while-greater nest: outer loop over elements, inner
+loop shifting the sorted prefix, with the guarded move in the middle.
+A compact kernel with pure MRU-position temporal locality.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, Loop, Program
+from repro.suite.shapes import guarded_swap
+
+
+def build() -> Program:
+    main = Function("main", [
+        Loop(10, [Compute(3, "array init")]),
+        Loop(9, [
+            Compute(4, "pick key"),
+            Loop(9, [Compute(4, "compare with prefix"), guarded_swap(6)]),
+            Compute(3, "place key"),
+        ]),
+    ])
+    return Program([main], name="insertsort")

@@ -1,0 +1,26 @@
+"""janne_complex — nested while loops with interdependent counters.
+
+Designed to stress flow analysis: the inner loop's trip count depends
+on the outer counter.  Structurally it is a two-level nest with a
+branchy inner body; we use the worst-case bounds the original's
+annotations declare.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, If, Loop, Program
+
+
+def build() -> Program:
+    main = Function("main", [
+        Compute(5, "a, b init"),
+        Loop(30, [
+            Compute(4, "outer update"),
+            Loop(30, [
+                Compute(5, "inner arithmetic"),
+                If([Compute(4, "a-branch")], [Compute(5, "b-branch")]),
+            ]),
+        ]),
+        Compute(3),
+    ])
+    return Program([main], name="janne_complex")

@@ -1,0 +1,20 @@
+"""jfdctint — JPEG integer forward DCT (8x8 block).
+
+Like fdct but with the JPEG slow-but-accurate integer butterflies:
+two 8-iteration passes with long straight-line bodies plus a final
+quantisation sweep over all 64 coefficients.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, Loop, Program
+
+
+def build() -> Program:
+    main = Function("main", [
+        Compute(5, "block setup"),
+        Loop(8, [Compute(104, "row pass: integer butterflies")]),
+        Loop(8, [Compute(104, "column pass: integer butterflies")]),
+        Loop(64, [Compute(5, "descale and store")]),
+    ])
+    return Program([main], name="jfdctint")

@@ -1,0 +1,22 @@
+"""lcdnum — 7-segment LCD digit decoder.
+
+Ten iterations of read-nibble / decode-through-switch; the decoder is
+a ten-case chain.  Tiny code, dominated by the decision chain.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, Loop, Program
+from repro.suite.shapes import if_chain
+
+
+def build() -> Program:
+    main = Function("main", [
+        Compute(3, "input setup"),
+        Loop(10, [
+            Compute(3, "fetch nibble"),
+            *if_chain(10, 3, guard_units=1),
+            Compute(2, "store segments"),
+        ]),
+    ])
+    return Program([main], name="lcdnum")

@@ -1,0 +1,33 @@
+"""ludcmp — LU decomposition and solve of a 5x5 linear system.
+
+Triangular factorisation nests (elimination with an inner dot-product
+loop), then forward/backward substitution loops.  Several loop levels
+of moderate body size with division-heavy straight-line code.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, Loop, Program
+
+
+def build() -> Program:
+    main = Function("main", [
+        Compute(8, "matrix setup"),
+        Loop(5, [
+            Compute(5, "pivot row"),
+            Loop(5, [
+                Compute(40, "eliminate row head / divide"),
+                Loop(5, [Compute(36, "row update MAC")]),
+            ]),
+        ]),
+        Loop(5, [
+            Compute(4, "forward substitution row"),
+            Loop(5, [Compute(28, "dot product term")]),
+        ]),
+        Loop(5, [
+            Compute(5, "backward substitution row"),
+            Loop(5, [Compute(28, "dot product term")]),
+        ]),
+        Compute(4, "residual check"),
+    ])
+    return Program([main], name="ludcmp")

@@ -1,0 +1,29 @@
+"""minver — inversion of a 3x3 matrix by Gauss-Jordan elimination.
+
+Many small fixed-bound nests (pivot search with branches, row scaling,
+elimination, final multiply to verify) over a 3x3 system — lots of
+short loops with decision code between them.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, If, Loop, Program
+
+
+def build() -> Program:
+    main = Function("main", [
+        Compute(8, "matrix load"),
+        Loop(3, [
+            Compute(5, "pivot column"),
+            Loop(3, [Compute(4, "pivot magnitude"),
+                     If([Compute(5, "swap rows")])]),
+            Compute(9, "scale pivot row / divide"),
+            Loop(3, [
+                Compute(4, "elimination row head"),
+                If([Loop(3, [Compute(6, "row update")])]),
+            ]),
+        ]),
+        Loop(3, [Loop(3, [Loop(3, [Compute(7, "verify multiply MAC")])])]),
+        Compute(6, "determinant / residual"),
+    ])
+    return Program([main], name="minver")

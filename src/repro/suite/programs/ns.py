@@ -1,0 +1,23 @@
+"""ns — search in a 4-dimensional 5x5x5x5 array.
+
+A four-deep loop nest probing every cell with a success branch in the
+innermost body — a deeply nested kernel with a tiny footprint and huge
+iteration product.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, Function, If, Loop, Program
+from repro.suite.shapes import nested_loops
+
+
+def build() -> Program:
+    main = Function("main", [
+        Compute(4, "target setup"),
+        nested_loops([5, 5, 5, 5],
+                     [Compute(44, "load cell (4-D indexing)"),
+                      If([Compute(10, "record match")])],
+                     per_level_units=2),
+        Compute(3, "result"),
+    ])
+    return Program([main], name="ns")

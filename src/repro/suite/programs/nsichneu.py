@@ -1,0 +1,20 @@
+"""nsichneu — simulation of an extended Petri net.
+
+The flow-analysis monster of the suite: two iterations over more than
+a hundred guarded transition blocks (each an if with a straight-line
+update).  ~9 KB of nearly straight-line code against a 1 KB cache:
+only spatial locality survives, which both mechanisms preserve in
+full — the deepest category-1 benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Function, Loop, Program
+from repro.suite.shapes import if_chain
+
+
+def build() -> Program:
+    main = Function("main", [
+        Loop(2, if_chain(120, 14, guard_units=2)),
+    ])
+    return Program([main], name="nsichneu")

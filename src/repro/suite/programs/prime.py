@@ -1,0 +1,25 @@
+"""prime — primality test by trial division.
+
+An even/odd pre-check and a divisor loop with an early-exit branch,
+calling a tiny ``divides`` helper per candidate — a small kernel with
+a call inside the hot loop.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Call, Compute, Function, If, Loop, Program
+
+
+def build() -> Program:
+    divides = Function("divides", [Compute(6, "modulo test")])
+    main = Function("main", [
+        Compute(4, "candidate setup"),
+        If([Compute(3, "even: answer directly")]),
+        Loop(73, [
+            Compute(3, "next odd divisor"),
+            Call("divides"),
+            If([Compute(3, "composite: set flag")]),
+        ]),
+        Compute(3, "verdict"),
+    ])
+    return Program([main, divides], name="prime")

@@ -1,0 +1,27 @@
+"""qurt — roots of a quadratic equation (Newton square root inside).
+
+Computes the discriminant, then calls an iterative square-root helper
+(19 Newton steps) once per root path, with sign branches around it.
+Call-dominated control flow around a compact iterative kernel.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Call, Compute, Function, If, Loop, Program
+
+
+def build() -> Program:
+    qurt_sqrt = Function("qurt_sqrt", [
+        Compute(5, "initial guess"),
+        Loop(19, [Compute(42, "Newton iteration")]),
+        Compute(3, "round"),
+    ])
+    main = Function("main", [
+        Compute(10, "coefficients, discriminant"),
+        If([Compute(4, "real roots"), Call("qurt_sqrt"),
+            Compute(8, "both roots")],
+           [Compute(4, "complex roots"), Call("qurt_sqrt"),
+            Compute(8, "real/imaginary parts")]),
+        Compute(4, "store roots"),
+    ])
+    return Program([main, qurt_sqrt], name="qurt")

@@ -1,0 +1,55 @@
+"""Reusable control-flow shapes for the benchmark stand-ins.
+
+The Mälardalen programs are built from a handful of recurring idioms —
+decision chains compiled from ``switch``, guarded swaps in sorting
+kernels, accumulation bodies in DSP loops.  These helpers keep the
+25 program definitions short and the shapes consistent.
+"""
+
+from __future__ import annotations
+
+from repro.minic import Compute, If, Loop, Stmt
+
+
+def if_chain(cases: int, units_per_case: int,
+             guard_units: int = 2) -> list[Stmt]:
+    """A ``switch``-like chain of ``cases`` sequential if-blocks.
+
+    gcc -O0 lowers dense switches to compare-and-branch chains; each
+    case is a guard plus a straight-line body.  The footprint grows
+    linearly with ``cases`` — the idiom behind cover/nsichneu-style
+    code that exceeds the cache capacity.
+    """
+    return [If([Compute(units_per_case)], note=f"case{i}")
+            for i in range(cases)] if guard_units <= 0 else [
+        stmt
+        for i in range(cases)
+        for stmt in (Compute(guard_units),
+                     If([Compute(units_per_case)], note=f"case{i}"))
+    ]
+
+
+def guarded_swap(work_units: int = 10) -> Stmt:
+    """The compare-and-swap idiom of the sorting kernels."""
+    return If([Compute(work_units)], note="swap")
+
+
+def accumulate(units: int) -> Stmt:
+    """A multiply-accumulate style straight-line body."""
+    return Compute(units, note="acc")
+
+
+def nested_loops(bounds: list[int], body: list[Stmt],
+                 per_level_units: int = 3) -> Stmt:
+    """Counted loops nested to ``len(bounds)`` levels around ``body``.
+
+    Each level contributes ``per_level_units`` of bookkeeping code
+    before its inner loop, like index arithmetic in the originals.
+    """
+    inner: list[Stmt] = body
+    for bound in reversed(bounds):
+        level_body = ([Compute(per_level_units)] + inner
+                      if per_level_units > 0 else inner)
+        inner = [Loop(bound, level_body)]
+    [result] = inner
+    return result

@@ -1,0 +1,15 @@
+"""Small shared helpers used across the library."""
+
+from repro.util.validate import (
+    check_positive_int,
+    check_power_of_two,
+    check_probability,
+    ilog2,
+)
+
+__all__ = [
+    "check_positive_int",
+    "check_power_of_two",
+    "check_probability",
+    "ilog2",
+]

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache import CacheGeometry
+from repro.ipet import TimingModel
+from repro.minic import (Call, Compute, Function, If, Loop, Program,
+                         compile_program)
+
+
+@pytest.fixture(scope="session")
+def paper_geometry() -> CacheGeometry:
+    """The paper's 1 KB, 4-way, 16 B-line configuration."""
+    return CacheGeometry.from_size(1024, 4, 16)
+
+
+@pytest.fixture(scope="session")
+def small_geometry() -> CacheGeometry:
+    """A 4-set, 2-way cache: small enough to reason about by hand."""
+    return CacheGeometry(sets=4, ways=2, block_bytes=16)
+
+
+@pytest.fixture(scope="session")
+def timing() -> TimingModel:
+    return TimingModel()
+
+
+@pytest.fixture(scope="session")
+def loop_program():
+    """One loop with a branch: the workhorse small program."""
+    program = Program([Function("main", [
+        Compute(6),
+        Loop(10, [Compute(4), If([Compute(3)], [Compute(2)])]),
+        Compute(2),
+    ])], name="loop_program")
+    return compile_program(program)
+
+
+@pytest.fixture(scope="session")
+def call_program():
+    """Nested loops across a function call (tests virtual inlining)."""
+    program = Program([
+        Function("main", [
+            Compute(4),
+            Loop(6, [Compute(3), Call("helper"), Compute(2)]),
+        ]),
+        Function("helper", [Loop(4, [Compute(5)])]),
+    ], name="call_program")
+    return compile_program(program)
+
+
+@pytest.fixture(scope="session")
+def straight_line_program():
+    """No loops at all: every fetch happens at most once."""
+    program = Program([Function("main", [Compute(40)])],
+                      name="straight_line")
+    return compile_program(program)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(20160325)

@@ -1,0 +1,57 @@
+"""Hypothesis strategies for random MiniC programs and traces.
+
+Random *structured* programs are the backbone of the soundness
+property tests: any structurally feasible execution of any generated
+program must be covered by the static analyses.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.minic import Compute, Function, If, Loop, Program
+
+
+def statements(depth: int = 2) -> st.SearchStrategy:
+    """A list of statements with bounded nesting depth."""
+    compute = st.builds(Compute, units=st.integers(1, 20))
+    if depth <= 0:
+        return st.lists(compute, min_size=1, max_size=3)
+    inner = statements(depth - 1)
+    loop = st.builds(
+        lambda bound, body: Loop(bound, body),
+        st.integers(0, 5), inner)
+    branch = st.builds(
+        lambda then, orelse, with_else: If(then, orelse if with_else else ()),
+        inner, inner, st.booleans())
+    return st.lists(st.one_of(compute, loop, branch),
+                    min_size=1, max_size=3)
+
+
+@st.composite
+def programs(draw) -> Program:
+    """A single-function random structured program."""
+    body = draw(statements(depth=2))
+    return Program([Function("main", body)], name="random_program")
+
+
+@st.composite
+def multi_function_programs(draw) -> Program:
+    """A program where main calls up to two leaf helpers."""
+    from repro.minic import Call
+    helper_body = draw(statements(depth=1))
+    body = draw(statements(depth=1))
+    calls = draw(st.integers(0, 2))
+    full_body = list(body)
+    for _ in range(calls):
+        full_body.append(Call("helper"))
+    return Program([Function("main", full_body),
+                    Function("helper", helper_body)],
+                   name="random_calls")
+
+
+def block_traces(max_block: int = 40, max_length: int = 200
+                 ) -> st.SearchStrategy:
+    """Raw memory-block traces for cache-simulator properties."""
+    return st.lists(st.integers(0, max_block), min_size=0,
+                    max_size=max_length)

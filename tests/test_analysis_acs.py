@@ -1,0 +1,147 @@
+"""Abstract cache state algebra (Must/May update and join)."""
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.acs import (cache_state_equal, copy_cache_state,
+                                may_join, may_update, must_join,
+                                must_update)
+
+ASSOC = 4
+
+set_states = st.dictionaries(st.integers(0, 10), st.integers(0, ASSOC - 1),
+                             max_size=ASSOC)
+blocks = st.integers(0, 10)
+
+
+class TestMustUpdate:
+    def test_accessed_block_becomes_mru(self):
+        state = must_update({}, 5, ASSOC)
+        assert state == {5: 0}
+
+    def test_reaccess_keeps_younger_blocks(self):
+        state = {1: 0, 2: 1, 3: 2}
+        updated = must_update(state, 3, ASSOC)
+        assert updated == {3: 0, 1: 1, 2: 2}
+
+    def test_reaccess_mru_is_identity_on_others(self):
+        state = {1: 0, 2: 3}
+        updated = must_update(state, 1, ASSOC)
+        assert updated == {1: 0, 2: 3}
+
+    def test_miss_ages_everyone(self):
+        state = {1: 0, 2: ASSOC - 1}
+        updated = must_update(state, 9, ASSOC)
+        assert updated[9] == 0
+        assert updated[1] == 1
+        assert 2 not in updated  # aged out of the guarantee
+
+    def test_zero_assoc_is_empty(self):
+        assert must_update({1: 0}, 2, 0) == {}
+
+    @given(set_states, blocks)
+    def test_ages_stay_in_range(self, state, block):
+        updated = must_update(state, block, ASSOC)
+        assert all(0 <= age < ASSOC for age in updated.values())
+        assert updated[block] == 0
+
+    @given(set_states, blocks)
+    def test_update_is_idempotent_on_repeat(self, state, block):
+        once = must_update(state, block, ASSOC)
+        twice = must_update(once, block, ASSOC)
+        assert once == twice
+
+
+class TestMustJoin:
+    def test_intersection_with_max_age(self):
+        joined = must_join({1: 0, 2: 2}, {1: 1, 3: 0})
+        assert joined == {1: 1}
+
+    def test_empty_is_absorbing(self):
+        assert must_join({}, {1: 0}) == {}
+        assert must_join({1: 0}, {}) == {}
+
+    @given(set_states, set_states)
+    def test_commutative(self, left, right):
+        assert must_join(left, right) == must_join(right, left)
+
+    @given(set_states, set_states, set_states)
+    def test_associative(self, a, b, c):
+        assert (must_join(must_join(a, b), c)
+                == must_join(a, must_join(b, c)))
+
+    @given(set_states)
+    def test_idempotent(self, state):
+        assert must_join(state, state) == state
+
+    @given(set_states, set_states)
+    def test_join_is_weaker_than_both(self, left, right):
+        """The join's guarantees are implied by either operand."""
+        joined = must_join(left, right)
+        for block, age in joined.items():
+            assert age >= left[block]
+            assert age >= right[block]
+
+
+class TestMayUpdate:
+    def test_accessed_block_min_age_zero(self):
+        assert may_update({}, 5, ASSOC) == {5: 0}
+
+    def test_absent_block_ages_everyone(self):
+        state = {1: 0, 2: ASSOC - 1}
+        updated = may_update(state, 9, ASSOC)
+        assert updated[1] == 1
+        assert 2 not in updated
+
+    def test_young_accessed_block_preserves_others(self):
+        # block 1 may be at age 0; accessing it may leave 2 unaged.
+        state = {1: 0, 2: 1}
+        updated = may_update(state, 1, ASSOC)
+        assert updated == {1: 0, 2: 1}
+
+    def test_older_block_ages_younger_ones(self):
+        state = {1: 0, 2: 2}
+        updated = may_update(state, 2, ASSOC)
+        assert updated == {2: 0, 1: 1}
+
+    @given(set_states, blocks)
+    def test_ages_stay_in_range(self, state, block):
+        updated = may_update(state, block, ASSOC)
+        assert all(0 <= age < ASSOC for age in updated.values())
+
+
+class TestMayJoin:
+    def test_union_with_min_age(self):
+        joined = may_join({1: 1, 2: 2}, {1: 3, 3: 0})
+        assert joined == {1: 1, 2: 2, 3: 0}
+
+    def test_empty_is_identity(self):
+        assert may_join({}, {1: 2}) == {1: 2}
+        assert may_join({1: 2}, {}) == {1: 2}
+
+    @given(set_states, set_states)
+    def test_commutative(self, left, right):
+        assert may_join(left, right) == may_join(right, left)
+
+    @given(set_states, set_states, set_states)
+    def test_associative(self, a, b, c):
+        assert (may_join(may_join(a, b), c)
+                == may_join(a, may_join(b, c)))
+
+    @given(set_states, set_states)
+    def test_join_covers_both(self, left, right):
+        joined = may_join(left, right)
+        for source in (left, right):
+            for block, age in source.items():
+                assert joined[block] <= age
+
+
+class TestCacheStateHelpers:
+    def test_equality_ignores_empty_sets(self):
+        assert cache_state_equal({0: {}}, {})
+        assert not cache_state_equal({0: {1: 0}}, {})
+
+    def test_copy_is_deep_per_set(self):
+        original = {0: {1: 0}}
+        copy = copy_cache_state(original)
+        copy[0][1] = 3
+        assert original[0][1] == 0

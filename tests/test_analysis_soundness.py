@@ -1,0 +1,136 @@
+"""Soundness of Must/May analyses against the concrete simulator.
+
+These are the load-bearing correctness tests of the whole library:
+for random structured programs and random structurally feasible paths,
+
+* every always-hit fetch must hit in the concrete LRU cache,
+* every always-miss fetch must miss,
+
+at every associativity (the degraded tables used by the FMM included).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, HealthCheck
+
+from repro.analysis import CacheAnalysis, Chmc
+from repro.cache import CacheGeometry, LRUCache
+from repro.cfg import PathWalker
+from repro.minic import compile_program
+from tests.strategies import multi_function_programs, programs
+
+GEOMETRY = CacheGeometry(sets=4, ways=2, block_bytes=16)
+
+
+def check_soundness(compiled, geometry, assoc, rng, walks=3):
+    """Replay paths; compare concrete hits with the classification."""
+    analysis = CacheAnalysis(compiled.cfg, geometry)
+    table = analysis.classification(assoc)
+    walker = PathWalker(compiled.cfg, analysis.forest)
+    # Degraded associativity == every set has (ways - assoc) faults.
+    concrete_geometry = CacheGeometry(
+        sets=geometry.sets, ways=max(assoc, 1),
+        block_bytes=geometry.block_bytes)
+    for index in range(walks):
+        walk = walker.walk(rng, maximize_iterations=(index == 0))
+        cache = LRUCache(concrete_geometry)
+        first_miss_seen: dict[tuple, bool] = {}
+        for block_id in walk.block_ids:
+            classifications = table.of_block(block_id)
+            for position, reference in enumerate(
+                    table.references(block_id)):
+                hit = (cache.access(reference.memory_block)
+                       if assoc > 0 else False)
+                chmc = classifications[position].chmc
+                if chmc is Chmc.ALWAYS_HIT:
+                    assert hit, (
+                        f"always-hit fetch missed: {reference} "
+                        f"assoc={assoc}")
+                elif chmc is Chmc.ALWAYS_MISS:
+                    assert not hit, (
+                        f"always-miss fetch hit: {reference} "
+                        f"assoc={assoc}")
+
+
+class TestSoundnessRandomPrograms:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(programs())
+    def test_full_associativity(self, program):
+        compiled = compile_program(program)
+        check_soundness(compiled, GEOMETRY, GEOMETRY.ways,
+                        random.Random(1))
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(programs())
+    def test_degraded_associativity(self, program):
+        compiled = compile_program(program)
+        for assoc in range(GEOMETRY.ways + 1):
+            check_soundness(compiled, GEOMETRY, assoc, random.Random(2),
+                            walks=2)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(multi_function_programs())
+    def test_interprocedural(self, program):
+        compiled = compile_program(program)
+        check_soundness(compiled, GEOMETRY, GEOMETRY.ways,
+                        random.Random(3))
+
+
+class TestSoundnessFixtures:
+    def test_loop_program_all_assocs(self, loop_program):
+        for assoc in range(5):
+            check_soundness(loop_program,
+                            CacheGeometry(sets=16, ways=4, block_bytes=16),
+                            assoc, random.Random(4), walks=4)
+
+    def test_call_program_all_assocs(self, call_program):
+        for assoc in range(5):
+            check_soundness(call_program,
+                            CacheGeometry(sets=16, ways=4, block_bytes=16),
+                            assoc, random.Random(5), walks=4)
+
+    def test_straight_line(self, straight_line_program):
+        check_soundness(straight_line_program, GEOMETRY, GEOMETRY.ways,
+                        random.Random(6), walks=1)
+
+
+class TestFirstMissSemantics:
+    def test_first_miss_misses_at_most_once_per_scope_entry(
+            self, loop_program, rng):
+        """On a concrete path, a first-miss reference's actual misses
+        must not exceed its scope entries."""
+        from repro.analysis.chmc import GLOBAL_SCOPE
+        geometry = CacheGeometry(sets=16, ways=4, block_bytes=16)
+        analysis = CacheAnalysis(loop_program.cfg, geometry)
+        table = analysis.classification()
+        walker = PathWalker(loop_program.cfg, analysis.forest)
+        walk = walker.walk(rng, maximize_iterations=True)
+
+        cache = LRUCache(geometry)
+        misses: dict[tuple, int] = {}
+        entries: dict[int, int] = {}
+        forest = analysis.forest
+        previous = None
+        for block_id in walk.block_ids:
+            for header, loop in forest.loops.items():
+                if block_id == header and (
+                        previous is None or previous not in loop.body):
+                    entries[header] = entries.get(header, 0) + 1
+            for position, reference in enumerate(
+                    table.references(block_id)):
+                hit = cache.access(reference.memory_block)
+                classification = table.of_block(block_id)[position]
+                if classification.chmc is Chmc.FIRST_MISS and not hit:
+                    key = reference.key
+                    misses[key] = misses.get(key, 0) + 1
+                    scope = classification.scope
+                    budget = (1 if scope == GLOBAL_SCOPE
+                              else entries.get(scope, 0))
+                    assert misses[key] <= budget, (
+                        f"first-miss {reference} missed {misses[key]} "
+                        f"times with only {budget} scope entries")
+            previous = block_id

@@ -1,0 +1,71 @@
+"""Cache geometry: address decomposition and configuration checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache import CacheGeometry
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_paper_configuration(self):
+        geometry = CacheGeometry.from_size(1024, 4, 16)
+        assert geometry.sets == 16
+        assert geometry.ways == 4
+        assert geometry.block_bytes == 16
+        assert geometry.total_bytes == 1024
+        assert geometry.block_bits == 128  # the paper's K
+
+    def test_from_size_rejects_indivisible(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry.from_size(1024, 3, 16)
+
+    @pytest.mark.parametrize("sets,ways,block", [
+        (0, 4, 16), (3, 4, 16), (16, 0, 16), (16, 4, 0), (16, 4, 12),
+    ])
+    def test_rejects_bad_parameters(self, sets, ways, block):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(sets=sets, ways=ways, block_bytes=block)
+
+    def test_str_mentions_sizes(self):
+        text = str(CacheGeometry.from_size(1024, 4, 16))
+        assert "1024B" in text and "16 sets" in text
+
+
+class TestAddressMath:
+    def test_known_decomposition(self):
+        geometry = CacheGeometry(sets=16, ways=4, block_bytes=16)
+        address = 0x0040_0134
+        assert geometry.block_of(address) == address // 16
+        assert geometry.set_of(address) == (address // 16) % 16
+        assert geometry.tag_of(address) == address // 16 // 16
+
+    def test_same_block_same_set(self):
+        geometry = CacheGeometry(sets=16, ways=4, block_bytes=16)
+        base = 0x400120
+        for offset in range(16):
+            assert geometry.block_of(base + offset) == geometry.block_of(base)
+
+    @given(st.integers(0, 2 ** 32 - 1))
+    def test_block_base_roundtrip(self, address):
+        geometry = CacheGeometry(sets=16, ways=4, block_bytes=16)
+        block = geometry.block_of(address)
+        base = geometry.block_base_address(block)
+        assert base <= address < base + geometry.block_bytes
+
+    @given(st.integers(0, 2 ** 32 - 1))
+    def test_set_consistency(self, address):
+        geometry = CacheGeometry(sets=8, ways=2, block_bytes=32)
+        assert (geometry.set_of(address)
+                == geometry.set_of_block(geometry.block_of(address)))
+
+    @given(st.integers(0, 2 ** 32 - 1))
+    def test_set_in_range(self, address):
+        geometry = CacheGeometry(sets=8, ways=2, block_bytes=32)
+        assert 0 <= geometry.set_of(address) < geometry.sets
+
+    def test_block_bits_matches_bytes(self):
+        for block_bytes in (16, 32, 64):
+            geometry = CacheGeometry(sets=4, ways=1,
+                                     block_bytes=block_bytes)
+            assert geometry.block_bits == block_bytes * 8

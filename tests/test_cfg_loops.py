@@ -1,0 +1,150 @@
+"""Dominators and natural-loop detection."""
+
+import pytest
+
+from repro.cfg import CFG, compute_dominators, find_loops
+from repro.errors import CFGStructureError
+
+
+def simple_loop(bound: int | None = 5) -> CFG:
+    """entry -> header <-> body; header -> exit."""
+    cfg = CFG("simple_loop")
+    cfg.new_block("entry")
+    cfg.new_block("header", loop_bound=bound)
+    cfg.new_block("body")
+    cfg.new_block("exit")
+    cfg.add_edge(0, 1)
+    cfg.add_edge(1, 2)
+    cfg.add_edge(2, 1)
+    cfg.add_edge(1, 3)
+    cfg.set_entry(0)
+    cfg.set_exit(3)
+    return cfg
+
+
+def nested_loops_cfg() -> CFG:
+    """Two-level nest: outer header 1, inner header 2."""
+    cfg = CFG("nested")
+    cfg.new_block("entry")                      # 0
+    cfg.new_block("outer_head", loop_bound=4)   # 1
+    cfg.new_block("inner_head", loop_bound=3)   # 2
+    cfg.new_block("inner_body")                 # 3
+    cfg.new_block("outer_latch")                # 4
+    cfg.new_block("exit")                       # 5
+    cfg.add_edge(0, 1)
+    cfg.add_edge(1, 2)
+    cfg.add_edge(2, 3)
+    cfg.add_edge(3, 2)
+    cfg.add_edge(2, 4)
+    cfg.add_edge(4, 1)
+    cfg.add_edge(1, 5)
+    cfg.set_entry(0)
+    cfg.set_exit(5)
+    return cfg
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = simple_loop()
+        dominators = compute_dominators(cfg)
+        for block_id in cfg.block_ids():
+            assert 0 in dominators[block_id]
+
+    def test_header_dominates_body(self):
+        dominators = compute_dominators(simple_loop())
+        assert 1 in dominators[2]
+
+    def test_branch_arms_do_not_dominate_join(self):
+        cfg = CFG()
+        for label in ("entry", "left", "right", "join"):
+            cfg.new_block(label)
+        cfg.add_edge(0, 1)
+        cfg.add_edge(0, 2)
+        cfg.add_edge(1, 3)
+        cfg.add_edge(2, 3)
+        cfg.set_entry(0)
+        cfg.set_exit(3)
+        dominators = compute_dominators(cfg)
+        assert 1 not in dominators[3]
+        assert 2 not in dominators[3]
+        assert dominators[3] == {0, 3}
+
+
+class TestLoopDetection:
+    def test_single_loop_found(self):
+        forest = find_loops(simple_loop())
+        assert len(forest) == 1
+        loop = forest.loop(1)
+        assert loop.body == frozenset({1, 2})
+        assert loop.back_edges == ((2, 1),)
+        assert loop.bound == 5
+
+    def test_entry_edges(self):
+        cfg = simple_loop()
+        forest = find_loops(cfg)
+        assert forest.loop(1).entry_edges(cfg) == ((0, 1),)
+
+    def test_missing_bound_rejected(self):
+        with pytest.raises(CFGStructureError, match="loop bound"):
+            find_loops(simple_loop(bound=None))
+
+    def test_nesting_depths(self):
+        forest = find_loops(nested_loops_cfg())
+        assert forest.loop(1).depth == 1
+        assert forest.loop(2).depth == 2
+        assert forest.loop(2).parent == 1
+        assert forest.loop(1).children == [2]
+
+    def test_inner_body_subset_of_outer(self):
+        forest = find_loops(nested_loops_cfg())
+        assert forest.loop(2).body < forest.loop(1).body
+
+    def test_loops_containing_innermost_first(self):
+        forest = find_loops(nested_loops_cfg())
+        chain = forest.loops_containing(3)
+        assert [loop.header for loop in chain] == [2, 1]
+
+    def test_is_back_edge(self):
+        forest = find_loops(nested_loops_cfg())
+        assert forest.is_back_edge((3, 2))
+        assert forest.is_back_edge((4, 1))
+        assert not forest.is_back_edge((0, 1))
+
+    def test_acyclic_graph_has_no_loops(self):
+        cfg = CFG()
+        cfg.new_block("a")
+        cfg.new_block("b")
+        cfg.add_edge(0, 1)
+        cfg.set_entry(0)
+        cfg.set_exit(1)
+        assert len(find_loops(cfg)) == 0
+
+    def test_irreducible_rejected(self):
+        # Two mutually reachable blocks, neither dominating the other.
+        cfg = CFG("irreducible")
+        cfg.new_block("entry")
+        cfg.new_block("a")
+        cfg.new_block("b")
+        cfg.new_block("exit")
+        cfg.add_edge(0, 1)
+        cfg.add_edge(0, 2)
+        cfg.add_edge(1, 2)
+        cfg.add_edge(2, 1)
+        cfg.add_edge(1, 3)
+        cfg.set_entry(0)
+        cfg.set_exit(3)
+        with pytest.raises(CFGStructureError, match="irreducible"):
+            find_loops(cfg)
+
+    def test_self_loop(self):
+        cfg = CFG("self")
+        cfg.new_block("entry")
+        cfg.new_block("spin", loop_bound=3)
+        cfg.new_block("exit")
+        cfg.add_edge(0, 1)
+        cfg.add_edge(1, 1)
+        cfg.add_edge(1, 2)
+        cfg.set_entry(0)
+        cfg.set_exit(2)
+        forest = find_loops(cfg)
+        assert forest.loop(1).body == frozenset({1})

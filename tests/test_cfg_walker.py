@@ -1,0 +1,101 @@
+"""The structurally feasible path walker."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cfg import PathWalker, find_loops
+from repro.minic import compile_program
+from tests.strategies import programs
+
+
+class TestWalks:
+    def test_path_starts_at_entry_ends_at_exit(self, loop_program, rng):
+        walker = PathWalker(loop_program.cfg)
+        walk = walker.walk(rng)
+        assert walk.block_ids[0] == loop_program.cfg.entry_id
+        assert walk.block_ids[-1] == loop_program.cfg.exit_id
+
+    def test_consecutive_blocks_are_edges(self, loop_program, rng):
+        cfg = loop_program.cfg
+        walker = PathWalker(cfg)
+        walk = walker.walk(rng)
+        for src, dst in zip(walk.block_ids, walk.block_ids[1:]):
+            assert dst in cfg.successors(src)
+
+    def test_loop_bounds_respected(self, loop_program, rng):
+        cfg = loop_program.cfg
+        forest = find_loops(cfg)
+        walker = PathWalker(cfg, forest)
+        for _ in range(50):
+            walk = walker.walk(rng)
+            counts = Counter(walk.block_ids)
+            for header, loop in forest.loops.items():
+                entries = sum(
+                    counts[src] if src not in loop.body else 0
+                    for src, dst in
+                    [(s, header) for s in cfg.predecessors(header)])
+                # entries from outside the loop, each allows `bound`.
+                assert counts[header] <= loop.bound * max(entries, 1)
+
+    def test_maximize_iterations_hits_bound(self, loop_program, rng):
+        cfg = loop_program.cfg
+        forest = find_loops(cfg)
+        walker = PathWalker(cfg, forest)
+        walk = walker.walk(rng, maximize_iterations=True)
+        counts = Counter(walk.block_ids)
+        [loop] = forest.loops.values()
+        assert counts[loop.header] == loop.bound
+
+    def test_addresses_follow_blocks(self, loop_program, rng):
+        cfg = loop_program.cfg
+        walker = PathWalker(cfg)
+        walk = walker.walk(rng)
+        expected = [address
+                    for block_id in walk.block_ids
+                    for address in cfg.block(block_id).addresses]
+        assert list(walk.addresses) == expected
+
+    def test_interprocedural_walks(self, call_program, rng):
+        walker = PathWalker(call_program.cfg)
+        walk = walker.walk(rng, maximize_iterations=True)
+        contexts = {call_program.cfg.block(block_id).context
+                    for block_id in walk.block_ids}
+        assert any(context for context in contexts)  # visited the callee
+
+    def test_deterministic_given_seed(self, loop_program):
+        walker = PathWalker(loop_program.cfg)
+        first = walker.walk(random.Random(99))
+        second = walker.walk(random.Random(99))
+        assert first == second
+
+
+class TestRandomPrograms:
+    @settings(max_examples=40, deadline=None)
+    @given(programs())
+    def test_walker_always_terminates(self, program):
+        compiled = compile_program(program)
+        walker = PathWalker(compiled.cfg)
+        rng = random.Random(7)
+        for _ in range(5):
+            walk = walker.walk(rng)
+            assert walk.block_ids[-1] == compiled.cfg.exit_id
+
+    @settings(max_examples=20, deadline=None)
+    @given(programs())
+    def test_max_iterations_saturates_bounds(self, program):
+        """A maximised walk executes every entered loop's header
+        exactly ``bound`` times per entry into the loop."""
+        compiled = compile_program(program)
+        forest = find_loops(compiled.cfg)
+        walker = PathWalker(compiled.cfg, forest)
+        walk = walker.walk(random.Random(11), maximize_iterations=True)
+        counts = Counter(walk.block_ids)
+        edge_counts = Counter(zip(walk.block_ids, walk.block_ids[1:]))
+        for header, loop in forest.loops.items():
+            entries = sum(edge_counts[(src, header)]
+                          for src in compiled.cfg.predecessors(header)
+                          if src not in loop.body)
+            assert counts[header] == loop.bound * entries

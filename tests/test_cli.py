@@ -1,0 +1,63 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestEstimate:
+    def test_basic(self, capsys):
+        assert main(["estimate", "bs"]) == 0
+        output = capsys.readouterr().out
+        assert "fault-free WCET" in output
+        assert "none" in output and "srb" in output and "rw" in output
+
+    def test_mechanism_selection(self, capsys):
+        assert main(["estimate", "bs", "--mechanisms", "rw"]) == 0
+        output = capsys.readouterr().out
+        assert "rw" in output
+        assert "srb:" not in output
+
+    def test_refined_srb_at_reachable_target(self, capsys):
+        assert main(["estimate", "bs", "--mechanisms", "srb+",
+                     "--probability", "1e-9"]) == 0
+        assert "srb+" in capsys.readouterr().out
+
+    def test_refined_srb_refuses_deep_tail(self, capsys):
+        assert main(["estimate", "bs", "--mechanisms", "srb+"]) == 0
+        assert "unavailable" in capsys.readouterr().out
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["estimate", "dhrystone"])
+
+    def test_pfail_override(self, capsys):
+        assert main(["estimate", "bs", "--pfail", "1e-6"]) == 0
+        capsys.readouterr()
+
+
+class TestOtherCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "adpcm" in output and "nsichneu" in output
+        assert output.count("\n") >= 26
+
+    def test_curve(self, capsys):
+        assert main(["curve", "bs", "--mechanisms", "rw",
+                     "--max-points", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "# bs / rw" in output
+
+    def test_fmm(self, capsys):
+        assert main(["fmm", "bs"]) == 0
+        assert "faulty" in capsys.readouterr().out
+
+    def test_tradeoff(self, capsys):
+        assert main(["tradeoff", "bs"]) == 0
+        output = capsys.readouterr().out
+        assert "gain/area" in output
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

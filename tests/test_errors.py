@@ -1,0 +1,34 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigurationError,
+    errors.CompilationError,
+    errors.RecursionUnsupportedError,
+    errors.CFGStructureError,
+    errors.AnalysisError,
+    errors.SolverError,
+    errors.DistributionError,
+    errors.SimulationError,
+    errors.EstimationError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_derives_from_repro_error(error_type):
+    assert issubclass(error_type, errors.ReproError)
+    assert issubclass(error_type, Exception)
+
+
+def test_recursion_is_a_compilation_error():
+    assert issubclass(errors.RecursionUnsupportedError,
+                      errors.CompilationError)
+
+
+def test_catchable_as_family():
+    with pytest.raises(errors.ReproError):
+        raise errors.SolverError("infeasible")

@@ -1,0 +1,127 @@
+"""Experiment drivers: categories, figure data, ablations."""
+
+import pytest
+
+from repro.experiments import (classify_category, exceedance_curves,
+                               fig4_rows, format_fig3, format_fig4,
+                               gain_summary, run_benchmark)
+from repro.experiments.fig1 import compute_fig1, format_fig1
+from repro.experiments.fig4 import Category
+from repro.pwcet.estimator import TARGET_EXCEEDANCE
+
+#: A fast, category-diverse subset used instead of the whole suite.
+SUBSET = ("fibcall", "bs", "nsichneu", "ud")
+
+
+class TestCategoryClassification:
+    def test_category_1(self):
+        assert (classify_category(100, 200, 100, 100)
+                is Category.FULLY_MASKED)
+
+    def test_category_2(self):
+        assert (classify_category(100, 200, 150, 100)
+                is Category.MRU_TEMPORAL)
+
+    def test_category_3(self):
+        assert (classify_category(100, 200, 151, 150)
+                is Category.DEEP_TEMPORAL)
+
+    def test_category_4(self):
+        assert classify_category(100, 400, 300, 180) is Category.MIXED
+
+    def test_degenerate_no_degradation(self):
+        assert classify_category(100, 100, 100, 100) is Category.FULLY_MASKED
+
+
+class TestRunner:
+    def test_results_cached(self):
+        first = run_benchmark("fibcall")
+        second = run_benchmark("fibcall")
+        assert first is second
+
+    def test_result_invariants(self):
+        result = run_benchmark("bs")
+        assert result.wcet_fault_free <= result.pwcet("rw")
+        assert result.pwcet("rw") <= result.pwcet("srb")
+        assert result.pwcet("srb") <= result.pwcet("none")
+        assert 0.0 <= result.gain("srb") <= 1.0
+        assert result.target_probability == TARGET_EXCEEDANCE
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig4_rows(benchmarks=SUBSET)
+
+    def test_rows_cover_subset(self, rows):
+        assert {row.name for row in rows} == set(SUBSET)
+
+    def test_normalisation(self, rows):
+        for row in rows:
+            assert 0.0 < row.normalized_fault_free <= 1.0
+            assert row.normalized_rw <= row.normalized_srb <= 1.0
+
+    def test_known_categories(self, rows):
+        by_name = {row.name: row for row in rows}
+        assert by_name["nsichneu"].category is Category.FULLY_MASKED
+        assert by_name["fibcall"].category is Category.MRU_TEMPORAL
+
+    def test_gain_summary(self, rows):
+        summary = gain_summary(rows)
+        assert 0.0 <= summary.average_gain_srb <= 1.0
+        assert summary.average_gain_rw >= summary.average_gain_srb
+        assert summary.min_gain_srb_benchmark in SUBSET
+        assert "paper" in summary.format()
+
+    def test_format_contains_all_benchmarks(self, rows):
+        text = format_fig4(rows)
+        for name in SUBSET:
+            assert name in text
+
+
+class TestFig3:
+    def test_curves_ordered(self):
+        curves = exceedance_curves("bs")
+        for probability in (1e-3, 1e-9, TARGET_EXCEEDANCE):
+            assert (curves["rw"].pwcet(probability)
+                    <= curves["srb"].pwcet(probability)
+                    <= curves["none"].pwcet(probability))
+
+    def test_format(self):
+        text = format_fig3("bs")
+        assert "Figure 3" in text
+        assert "bs" in text
+        assert "1e-15" in text.replace("e-15", "e-15")
+
+
+class TestFig1:
+    def test_compute(self):
+        data = compute_fig1()
+        assert data.fmm.max_fault_count == 2  # 2-way example cache
+        assert data.combined.total_mass == pytest.approx(1.0, abs=1e-9)
+        assert len(data.per_set) <= 4
+
+    def test_format(self):
+        text = format_fig1(compute_fig1())
+        assert "Figure 1.a" in text and "Figure 1.b" in text
+
+
+class TestAblations:
+    def test_pfail_sweep_monotone(self):
+        from repro.experiments.ablations import pfail_sweep
+        points = pfail_sweep(pfails=(1e-5, 1e-4), benchmarks=("bs",))
+        assert len(points) == 2
+        by_pfail = {point.value: point for point in points}
+        assert (by_pfail[1e-5].pwcet_none <= by_pfail[1e-4].pwcet_none)
+
+    def test_solver_comparison_sound(self):
+        from repro.experiments.ablations import solver_comparison
+        pairs = solver_comparison(benchmarks=("bs",))
+        for exact, relaxed in pairs:
+            assert relaxed.pwcet_none >= exact.pwcet_none
+
+    def test_format_sweep(self):
+        from repro.experiments.ablations import format_sweep, pfail_sweep
+        text = format_sweep(pfail_sweep(pfails=(1e-4,),
+                                        benchmarks=("bs",)))
+        assert "bs" in text and "pfail" in text

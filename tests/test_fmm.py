@@ -1,0 +1,163 @@
+"""Fault Miss Map: structure, computation, and soundness."""
+
+import random
+
+import pytest
+
+from repro.analysis import CacheAnalysis
+from repro.cache import CacheGeometry, FaultMap, LRUCache
+from repro.cfg import PathWalker
+from repro.errors import ConfigurationError
+from repro.fmm import FaultMissMap, compute_fault_miss_map
+from repro.reliability import (NoProtection, ReliableWay,
+                               SharedReliableBuffer)
+
+GEOMETRY = CacheGeometry(sets=4, ways=2, block_bytes=16)
+PAPER_GEOMETRY = CacheGeometry.from_size(1024, 4, 16)
+
+
+class TestDataStructure:
+    def test_row_validation(self):
+        fmm = FaultMissMap(GEOMETRY, rows=((0, 1, 2),) * 4)
+        assert fmm.misses(0, 2) == 2
+        assert fmm.max_fault_count == 2
+
+    def test_first_column_must_be_zero(self):
+        with pytest.raises(ConfigurationError):
+            FaultMissMap(GEOMETRY, rows=((1, 1, 2),) * 4)
+
+    def test_monotonicity_enforced(self):
+        with pytest.raises(ConfigurationError, match="monotone"):
+            FaultMissMap(GEOMETRY, rows=((0, 5, 2),) * 4)
+
+    def test_row_count_checked(self):
+        with pytest.raises(ConfigurationError):
+            FaultMissMap(GEOMETRY, rows=((0, 1),) * 3)
+
+    def test_out_of_range_queries(self):
+        fmm = FaultMissMap(GEOMETRY, rows=((0, 1, 2),) * 4)
+        with pytest.raises(ConfigurationError):
+            fmm.misses(9, 1)
+        with pytest.raises(ConfigurationError):
+            fmm.misses(0, 3)
+
+    def test_total_worst_misses(self):
+        fmm = FaultMissMap(GEOMETRY, rows=((0, 1, 2), (0, 0, 0),
+                                           (0, 2, 4), (0, 1, 1)))
+        assert fmm.total_worst_misses() == 7
+
+    def test_format_table(self):
+        fmm = FaultMissMap(GEOMETRY, rows=((0, 1, 2),) * 4)
+        text = fmm.format_table()
+        assert "1 faulty" in text and "2 faulty" in text
+
+
+class TestComputation:
+    def test_straight_line_fmm(self, straight_line_program):
+        """Straight-line code: a faulty set only loses its spatial
+        hits, once per line it hosts — and only in the all-faulty
+        column (partial faults keep the MRU line alive)."""
+        analysis = CacheAnalysis(straight_line_program.cfg, PAPER_GEOMETRY)
+        fmm = compute_fault_miss_map(analysis, NoProtection())
+        for set_index in range(PAPER_GEOMETRY.sets):
+            for fault_count in range(1, PAPER_GEOMETRY.ways):
+                assert fmm.misses(set_index, fault_count) == 0
+        assert fmm.total_worst_misses() > 0
+
+    def test_rw_has_no_all_faulty_column(self, loop_program):
+        analysis = CacheAnalysis(loop_program.cfg, PAPER_GEOMETRY)
+        fmm = compute_fault_miss_map(analysis, ReliableWay())
+        assert fmm.max_fault_count == PAPER_GEOMETRY.ways - 1
+
+    def test_srb_column_bounded_by_none(self, loop_program):
+        """The SRB can only remove misses from the all-faulty column."""
+        analysis = CacheAnalysis(loop_program.cfg, PAPER_GEOMETRY)
+        fmm_none = compute_fault_miss_map(analysis, NoProtection())
+        fmm_srb = compute_fault_miss_map(analysis, SharedReliableBuffer())
+        ways = PAPER_GEOMETRY.ways
+        for set_index in range(PAPER_GEOMETRY.sets):
+            assert (fmm_srb.misses(set_index, ways)
+                    <= fmm_none.misses(set_index, ways))
+            for fault_count in range(ways):
+                assert (fmm_srb.misses(set_index, fault_count)
+                        == fmm_none.misses(set_index, fault_count))
+
+    def test_rows_monotone(self, call_program):
+        analysis = CacheAnalysis(call_program.cfg, PAPER_GEOMETRY)
+        fmm = compute_fault_miss_map(analysis, NoProtection())
+        for set_index in range(PAPER_GEOMETRY.sets):
+            row = fmm.row(set_index)
+            assert list(row) == sorted(row)
+
+    def test_relaxed_at_least_exact(self, loop_program):
+        analysis = CacheAnalysis(loop_program.cfg, PAPER_GEOMETRY)
+        exact = compute_fault_miss_map(analysis, NoProtection())
+        relaxed = compute_fault_miss_map(analysis, NoProtection(),
+                                         relaxed=True)
+        for set_index in range(PAPER_GEOMETRY.sets):
+            for fault_count in range(1, PAPER_GEOMETRY.ways + 1):
+                assert (relaxed.misses(set_index, fault_count)
+                        >= exact.misses(set_index, fault_count))
+
+
+class TestSoundness:
+    """FMM entries bound the misses observed with real fault maps."""
+
+    @pytest.mark.parametrize("mechanism", [NoProtection(),
+                                           SharedReliableBuffer()])
+    def test_fmm_bounds_fault_induced_misses(self, loop_program,
+                                             mechanism):
+        from repro.ipet import TimingModel
+        from repro.sim import TraceExecutor
+        geometry = PAPER_GEOMETRY
+        timing = TimingModel()
+        analysis = CacheAnalysis(loop_program.cfg, geometry)
+        fmm = compute_fault_miss_map(analysis, mechanism)
+        walker = PathWalker(loop_program.cfg, analysis.forest)
+        rng = random.Random(13)
+        for trial in range(25):
+            # One faulty set with a random number of faulty ways.
+            set_index = rng.randrange(geometry.sets)
+            lowest_way = 1 if mechanism.name == "rw" else 0
+            count_range = fmm.max_fault_count
+            fault_count = rng.randint(1, count_range)
+            fault_map = FaultMap(geometry, [
+                (set_index, way)
+                for way in range(geometry.ways - fault_count,
+                                 geometry.ways)])
+            walk = walker.walk(rng, maximize_iterations=(trial % 2 == 0))
+
+            baseline = TraceExecutor(geometry, timing, mechanism)
+            clean = baseline.run(walk.addresses)
+            faulty_executor = TraceExecutor(geometry, timing, mechanism,
+                                            fault_map)
+            faulty = faulty_executor.run(walk.addresses)
+            induced = faulty.misses - clean.misses
+            assert induced <= fmm.misses(set_index, fault_count), (
+                f"set {set_index} with {fault_count} faults induced "
+                f"{induced} misses > FMM bound "
+                f"{fmm.misses(set_index, fault_count)}")
+
+    def test_multi_set_additivity_bound(self, call_program):
+        """With faults in several sets, the sum of FMM entries bounds
+        the total induced misses (the convolution's independence)."""
+        from repro.ipet import TimingModel
+        from repro.sim import TraceExecutor
+        geometry = PAPER_GEOMETRY
+        timing = TimingModel()
+        mechanism = NoProtection()
+        analysis = CacheAnalysis(call_program.cfg, geometry)
+        fmm = compute_fault_miss_map(analysis, mechanism)
+        walker = PathWalker(call_program.cfg, analysis.forest)
+        rng = random.Random(17)
+        for trial in range(15):
+            fault_map = FaultMap.sample(geometry, 0.2, rng)
+            walk = walker.walk(rng, maximize_iterations=True)
+            clean = TraceExecutor(geometry, timing,
+                                  mechanism).run(walk.addresses)
+            faulty = TraceExecutor(geometry, timing, mechanism,
+                                   fault_map).run(walk.addresses)
+            induced = faulty.misses - clean.misses
+            bound = sum(fmm.misses(s, fault_map.faulty_ways_in_set(s))
+                        for s in range(geometry.sets))
+            assert induced <= bound

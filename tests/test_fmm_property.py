@@ -1,0 +1,112 @@
+"""Property-based FMM soundness over random structured programs.
+
+Stronger than the fixture-based tests of ``test_fmm.py``: hypothesis
+generates the programs, the fault placements and the paths.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import CacheAnalysis
+from repro.cache import CacheGeometry, FaultMap
+from repro.cfg import PathWalker
+from repro.fmm import compute_fault_miss_map
+from repro.ipet import TimingModel, compute_wcet
+from repro.minic import compile_program
+from repro.reliability import (NoProtection, ReliableWay,
+                               SharedReliableBuffer)
+from repro.reliability.refined_srb import RefinedSharedReliableBuffer
+from repro.sim import TraceExecutor
+from tests.strategies import programs
+
+GEOMETRY = CacheGeometry(sets=8, ways=2, block_bytes=16)
+TIMING = TimingModel()
+
+
+def _check_program(program, mechanism, seed: int,
+                   single_full_set: bool) -> None:
+    compiled = compile_program(program)
+    analysis = CacheAnalysis(compiled.cfg, GEOMETRY)
+    wcet_ff = compute_wcet(compiled.cfg, analysis.classification(),
+                           TIMING).cycles
+    fmm = compute_fault_miss_map(analysis, mechanism)
+    walker = PathWalker(compiled.cfg, analysis.forest)
+    rng = random.Random(seed)
+    for trial in range(6):
+        if single_full_set:
+            # Event A of the refined analysis: one full set at most.
+            full = rng.randrange(GEOMETRY.sets)
+            frames = [(full, way) for way in range(GEOMETRY.ways)]
+            frames += [(s, GEOMETRY.ways - 1)
+                       for s in range(GEOMETRY.sets)
+                       if s != full and rng.random() < 0.4]
+            fault_map = FaultMap(GEOMETRY, frames)
+        else:
+            reliable = 1 if isinstance(mechanism, ReliableWay) else 0
+            fault_map = FaultMap.sample(GEOMETRY, rng.choice([0.2, 0.6]),
+                                        rng, reliable_ways=reliable)
+        walk = walker.walk(rng, maximize_iterations=(trial == 0))
+        outcome = TraceExecutor(GEOMETRY, TIMING, mechanism,
+                                fault_map).run(walk.addresses)
+        bound = wcet_ff + TIMING.memory_cycles * sum(
+            fmm.misses(s, min(fault_map.faulty_ways_in_set(s),
+                              fmm.max_fault_count))
+            for s in range(GEOMETRY.sets))
+        assert outcome.cycles <= bound, (
+            f"{mechanism.name}: {outcome.cycles} > {bound} "
+            f"profile={fault_map.fault_profile()}")
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_no_protection_bound(program):
+    _check_program(program, NoProtection(), seed=1, single_full_set=False)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_srb_bound(program):
+    _check_program(program, SharedReliableBuffer(), seed=2,
+                   single_full_set=False)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_rw_bound(program):
+    _check_program(program, ReliableWay(), seed=3, single_full_set=False)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_refined_srb_bound_under_event_a(program):
+    _check_program(program, RefinedSharedReliableBuffer(), seed=4,
+                   single_full_set=True)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_mechanism_fmm_ordering(program):
+    """Column-wise: refined SRB <= SRB <= none; RW equals none on the
+    shared columns (same degraded-cache analysis)."""
+    compiled = compile_program(program)
+    analysis = CacheAnalysis(compiled.cfg, GEOMETRY)
+    none = compute_fault_miss_map(analysis, NoProtection())
+    srb = compute_fault_miss_map(analysis, SharedReliableBuffer())
+    refined = compute_fault_miss_map(analysis,
+                                     RefinedSharedReliableBuffer())
+    rw = compute_fault_miss_map(analysis, ReliableWay())
+    ways = GEOMETRY.ways
+    for set_index in range(GEOMETRY.sets):
+        assert (refined.misses(set_index, ways)
+                <= srb.misses(set_index, ways)
+                <= none.misses(set_index, ways))
+        for fault_count in range(ways):
+            assert (rw.misses(set_index, fault_count)
+                    == none.misses(set_index, fault_count))

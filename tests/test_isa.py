@@ -1,0 +1,111 @@
+"""Tests of the MIPS-like ISA model and the memory layout."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa import (INSTRUCTION_SIZE, FunctionImage, Instruction,
+                       InstructionKind, MemoryLayout)
+from repro.isa.instruction import MNEMONICS_BY_KIND, kind_of_mnemonic
+from repro.isa.layout import DEFAULT_TEXT_BASE
+
+
+class TestInstruction:
+    def test_kind_derived_from_mnemonic(self):
+        assert Instruction(0, "addu").kind is InstructionKind.SEQUENTIAL
+        assert Instruction(0, "beq").kind is InstructionKind.BRANCH
+        assert Instruction(0, "j").kind is InstructionKind.JUMP
+        assert Instruction(0, "jal").kind is InstructionKind.CALL
+        assert Instruction(0, "jr").kind is InstructionKind.RETURN
+
+    def test_misaligned_address_rejected(self):
+        with pytest.raises(ConfigurationError, match="aligned"):
+            Instruction(2, "addu")
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Instruction(-4, "addu")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown mnemonic"):
+            Instruction(0, "vaddps")
+
+    def test_with_address_relocates(self):
+        original = Instruction(8, "lw", "t0,0(fp)")
+        moved = original.with_address(0x400008)
+        assert moved.address == 0x400008
+        assert moved.mnemonic == original.mnemonic
+        assert moved.operands == original.operands
+
+    def test_control_transfer_property(self):
+        assert not Instruction(0, "addu").is_control_transfer
+        assert Instruction(0, "bne").is_control_transfer
+
+    def test_str_contains_address_and_mnemonic(self):
+        text = str(Instruction(0x400000, "jal", target="helper"))
+        assert "0x00400000" in text
+        assert "jal" in text
+        assert "helper" in text
+
+    def test_every_mnemonic_maps_back_to_its_kind(self):
+        for kind, mnemonics in MNEMONICS_BY_KIND.items():
+            for mnemonic in mnemonics:
+                assert kind_of_mnemonic(mnemonic) is kind
+
+
+class TestFunctionImage:
+    def test_end_address(self):
+        image = FunctionImage("f", 0x400000, 64)
+        assert image.end_address == 0x400040
+
+    def test_rejects_misaligned_base(self):
+        with pytest.raises(ConfigurationError):
+            FunctionImage("f", 0x400002, 64)
+
+    @pytest.mark.parametrize("size", [0, -4, 3])
+    def test_rejects_bad_size(self, size):
+        with pytest.raises(ConfigurationError):
+            FunctionImage("f", 0x400000, size)
+
+
+class TestMemoryLayout:
+    def test_places_functions_contiguously(self):
+        layout = MemoryLayout()
+        first = layout.place("a", 40)
+        second = layout.place("b", 16)
+        assert first.base_address == DEFAULT_TEXT_BASE
+        assert second.base_address == first.end_address
+        assert layout.total_code_bytes == 56
+
+    def test_alignment_pads_between_functions(self):
+        layout = MemoryLayout(alignment=16)
+        layout.place("a", 20)
+        second = layout.place("b", 8)
+        assert second.base_address % 16 == 0
+        assert second.base_address == DEFAULT_TEXT_BASE + 32
+
+    def test_duplicate_function_rejected(self):
+        layout = MemoryLayout()
+        layout.place("a", 8)
+        with pytest.raises(ConfigurationError, match="placed twice"):
+            layout.place("a", 8)
+
+    def test_image_lookup(self):
+        layout = MemoryLayout()
+        layout.place("a", 8)
+        assert layout.image_of("a").size_bytes == 8
+        with pytest.raises(ConfigurationError):
+            layout.image_of("missing")
+
+    def test_images_in_order(self):
+        layout = MemoryLayout()
+        for name in ("x", "y", "z"):
+            layout.place(name, INSTRUCTION_SIZE)
+        assert [image.name for image in layout.images] == ["x", "y", "z"]
+
+    def test_invalid_text_base(self):
+        with pytest.raises(ConfigurationError):
+            MemoryLayout(text_base=3)
+
+    def test_invalid_alignment(self):
+        with pytest.raises(ConfigurationError):
+            MemoryLayout(alignment=2)

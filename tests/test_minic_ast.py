@@ -1,0 +1,91 @@
+"""MiniC AST validation."""
+
+import pytest
+
+from repro.errors import CompilationError, RecursionUnsupportedError
+from repro.minic import Call, Compute, Function, If, Loop, Program
+
+
+class TestStatements:
+    def test_compute_requires_positive_units(self):
+        with pytest.raises(CompilationError):
+            Compute(0)
+
+    def test_loop_rejects_negative_iterations(self):
+        with pytest.raises(CompilationError):
+            Loop(-1, [Compute(1)])
+
+    def test_loop_allows_zero_iterations(self):
+        loop = Loop(0, [Compute(1)])
+        assert loop.iterations == 0
+
+    def test_loop_rejects_empty_body(self):
+        with pytest.raises(CompilationError):
+            Loop(3, [])
+
+    def test_if_rejects_empty_then(self):
+        with pytest.raises(CompilationError):
+            If([])
+
+    def test_if_orelse_optional(self):
+        assert If([Compute(1)]).orelse == ()
+
+    def test_call_needs_name(self):
+        with pytest.raises(CompilationError):
+            Call("")
+
+    def test_bodies_are_tuples(self):
+        loop = Loop(2, [Compute(1)])
+        assert isinstance(loop.body, tuple)
+        branch = If([Compute(1)], [Compute(2)])
+        assert isinstance(branch.then, tuple)
+        assert isinstance(branch.orelse, tuple)
+
+
+class TestProgram:
+    def test_duplicate_function_names_rejected(self):
+        with pytest.raises(CompilationError, match="duplicate"):
+            Program([Function("f", [Compute(1)]),
+                     Function("f", [Compute(1)])], entry="f")
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(CompilationError, match="entry"):
+            Program([Function("f", [Compute(1)])], entry="main")
+
+    def test_undefined_callee_rejected(self):
+        with pytest.raises(CompilationError, match="undefined"):
+            Program([Function("main", [Call("ghost")])])
+
+    def test_direct_recursion_rejected(self):
+        with pytest.raises(RecursionUnsupportedError):
+            Program([Function("main", [Call("main")])])
+
+    def test_mutual_recursion_rejected(self):
+        with pytest.raises(RecursionUnsupportedError):
+            Program([
+                Function("main", [Call("a")]),
+                Function("a", [Call("b")]),
+                Function("b", [Call("a")]),
+            ])
+
+    def test_recursion_in_nested_statements_detected(self):
+        with pytest.raises(RecursionUnsupportedError):
+            Program([
+                Function("main", [
+                    Loop(3, [If([Call("main")])]),
+                ]),
+            ])
+
+    def test_diamond_call_graph_accepted(self):
+        program = Program([
+            Function("main", [Call("left"), Call("right")]),
+            Function("left", [Call("shared")]),
+            Function("right", [Call("shared")]),
+            Function("shared", [Compute(1)]),
+        ])
+        assert program.function("shared").name == "shared"
+
+    def test_function_lookup_error(self):
+        program = Program([Function("main", [Compute(1)])])
+        with pytest.raises(CompilationError):
+            program.function("nope")

@@ -1,0 +1,115 @@
+"""Code generation: block structure, addresses, call sites."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.isa import INSTRUCTION_SIZE, InstructionKind
+from repro.minic import Compute, Function, If, Loop, compile_function
+from repro.minic.ast import Call
+from tests.strategies import programs
+
+
+class TestStraightLine:
+    def test_prologue_and_epilogue_wrap_body(self):
+        code = compile_function(Function("f", [Compute(5)]))
+        entry = code.cfg.block(code.cfg.entry_id)
+        exit_ = code.cfg.block(code.cfg.exit_id)
+        assert entry.instructions[0].mnemonic == "addiu"
+        assert exit_.instructions[-1].mnemonic == "jr"
+        # 4 prologue + 5 body + 5 epilogue
+        assert code.cfg.instruction_count() == 14
+        assert code.size_bytes == 14 * INSTRUCTION_SIZE
+
+    def test_addresses_contiguous_from_zero(self):
+        code = compile_function(Function("f", [Compute(9)]))
+        addresses = sorted(
+            address for block in code.cfg.blocks.values()
+            for address in block.addresses)
+        assert addresses == list(range(0, code.size_bytes,
+                                       INSTRUCTION_SIZE))
+
+
+class TestLoops:
+    def test_header_carries_bound(self):
+        code = compile_function(Function("f", [Loop(7, [Compute(2)])]))
+        headers = [block for block in code.cfg.blocks.values()
+                   if block.loop_bound is not None]
+        assert len(headers) == 1
+        assert headers[0].loop_bound == 8  # iterations + 1
+
+    def test_header_has_two_successors(self):
+        code = compile_function(Function("f", [Loop(7, [Compute(2)])]))
+        [header] = [block.block_id for block in code.cfg.blocks.values()
+                    if block.loop_bound is not None]
+        assert len(code.cfg.successors(header)) == 2
+
+    def test_latch_jumps_back(self):
+        code = compile_function(Function("f", [Loop(7, [Compute(2)])]))
+        [header] = [block.block_id for block in code.cfg.blocks.values()
+                    if block.loop_bound is not None]
+        latch_edges = [src for src in code.cfg.predecessors(header)
+                       if code.cfg.block(src).instructions
+                       and code.cfg.block(src).instructions[-1].kind
+                       is InstructionKind.JUMP]
+        assert len(latch_edges) == 1
+
+    def test_nested_loops_have_two_headers(self):
+        code = compile_function(
+            Function("f", [Loop(3, [Loop(4, [Compute(1)])])]))
+        bounds = sorted(block.loop_bound
+                        for block in code.cfg.blocks.values()
+                        if block.loop_bound is not None)
+        assert bounds == [4, 5]
+
+
+class TestBranches:
+    def test_if_without_else_diamonds(self):
+        code = compile_function(Function("f", [If([Compute(3)])]))
+        branching = [block.block_id for block in code.cfg.blocks.values()
+                     if len(code.cfg.successors(block.block_id)) == 2]
+        assert len(branching) == 1
+
+    def test_if_with_else_has_join(self):
+        code = compile_function(
+            Function("f", [If([Compute(3)], [Compute(4)]), Compute(1)]))
+        code.cfg.validate()
+        joins = [block.block_id for block in code.cfg.blocks.values()
+                 if len(code.cfg.predecessors(block.block_id)) == 2]
+        assert joins  # at least the join point
+
+    def test_then_branch_ends_with_jump_over_else(self):
+        code = compile_function(
+            Function("f", [If([Compute(3)], [Compute(4)])]))
+        jumps = [block for block in code.cfg.blocks.values()
+                 if block.instructions
+                 and block.instructions[-1].kind is InstructionKind.JUMP]
+        assert len(jumps) == 1
+
+
+class TestCalls:
+    def test_call_block_recorded(self):
+        code = compile_function(Function("f", [Call("g")]))
+        assert len(code.call_sites) == 1
+        block_id, callee = code.call_sites[0]
+        assert callee == "g"
+        assert code.cfg.block(block_id).call_target == "g"
+
+    def test_call_block_single_successor(self):
+        code = compile_function(
+            Function("f", [Compute(2), Call("g"), Compute(2)]))
+        block_id, _callee = code.call_sites[0]
+        assert len(code.cfg.successors(block_id)) == 1
+
+
+class TestGeneratedCFGs:
+    @settings(max_examples=40, deadline=None)
+    @given(programs())
+    def test_random_programs_compile_to_valid_cfgs(self, program):
+        code = compile_function(program.functions[0])
+        code.cfg.validate()
+        # Addresses are unique and aligned.
+        addresses = [address for block in code.cfg.blocks.values()
+                     for address in block.addresses]
+        assert len(addresses) == len(set(addresses))
+        assert all(address % INSTRUCTION_SIZE == 0
+                   for address in addresses)

@@ -1,0 +1,61 @@
+"""The objdump-style listing and set-pressure report."""
+
+import pytest
+
+from repro.cache import CacheGeometry
+from repro.minic.dump import dump_program, set_pressure_report
+
+GEOMETRY = CacheGeometry.from_size(1024, 4, 16)
+
+
+class TestDumpProgram:
+    def test_lists_every_instruction(self, loop_program):
+        text = dump_program(loop_program)
+        assert text.count(":  ") >= loop_program.functions[
+            "main"].cfg.instruction_count()
+
+    def test_function_headers_present(self, call_program):
+        text = dump_program(call_program)
+        assert "<main>:" in text
+        assert "<helper>:" in text
+
+    def test_loop_bound_annotated(self, loop_program):
+        text = dump_program(loop_program)
+        assert "loop header, bound 11" in text
+
+    def test_geometry_annotations(self, loop_program):
+        text = dump_program(loop_program, GEOMETRY)
+        assert "# line" in text and "set" in text
+
+    def test_addresses_formatted_hex(self, straight_line_program):
+        text = dump_program(straight_line_program)
+        base = straight_line_program.layout.images[0].base_address
+        assert f"{base:08x}" in text
+
+    def test_call_targets_shown(self, call_program):
+        text = dump_program(call_program)
+        assert "jal" in text and "<helper>" in text
+
+
+class TestSetPressure:
+    def test_counts_match_distinct_blocks(self, loop_program):
+        text = set_pressure_report(loop_program, GEOMETRY)
+        total = sum(
+            int(line.split("blocks")[0].split(":")[1])
+            for line in text.splitlines() if "blocks" in line)
+        assert total == len({
+            GEOMETRY.block_of(address)
+            for address in loop_program.cfg.distinct_addresses()})
+
+    def test_every_set_listed(self, loop_program):
+        text = set_pressure_report(loop_program, GEOMETRY)
+        assert text.count("set ") >= GEOMETRY.sets
+
+    def test_big_benchmark_pressure_exceeds_ways(self):
+        """nsichneu's conflict profile is what makes it category 1."""
+        from repro.suite import load
+        compiled = load("nsichneu")
+        text = set_pressure_report(compiled, GEOMETRY)
+        counts = [int(line.split("blocks")[0].split(":")[1])
+                  for line in text.splitlines() if "blocks" in line]
+        assert min(counts) > GEOMETRY.ways

@@ -1,0 +1,112 @@
+"""Linking and virtual inlining."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.isa import MemoryLayout
+from repro.isa.layout import DEFAULT_TEXT_BASE
+from repro.minic import (Call, Compute, Function, Loop, Program,
+                         compile_program)
+from tests.strategies import multi_function_programs
+
+
+class TestLinking:
+    def test_functions_placed_in_definition_order(self):
+        program = Program([
+            Function("main", [Compute(2), Call("second")]),
+            Function("second", [Compute(2)]),
+        ])
+        compiled = compile_program(program)
+        main_image = compiled.layout.image_of("main")
+        second_image = compiled.layout.image_of("second")
+        assert main_image.base_address == DEFAULT_TEXT_BASE
+        assert second_image.base_address == main_image.end_address
+
+    def test_custom_layout_respected(self):
+        layout = MemoryLayout(text_base=0x1000)
+        program = Program([Function("main", [Compute(2)])])
+        compiled = compile_program(program, layout)
+        entry = compiled.cfg.block(compiled.cfg.entry_id)
+        assert entry.instructions[0].address == 0x1000
+
+    def test_addresses_relocated_into_images(self):
+        program = Program([
+            Function("main", [Call("helper")]),
+            Function("helper", [Compute(3)]),
+        ])
+        compiled = compile_program(program)
+        helper_image = compiled.layout.image_of("helper")
+        helper_cfg = compiled.functions["helper"].cfg
+        for block in helper_cfg.blocks.values():
+            for address in block.addresses:
+                assert (helper_image.base_address <= address
+                        < helper_image.end_address)
+
+
+class TestVirtualInlining:
+    def test_two_calls_duplicate_blocks_not_addresses(self):
+        program = Program([
+            Function("main", [Call("helper"), Call("helper")]),
+            Function("helper", [Compute(6)]),
+        ])
+        compiled = compile_program(program)
+        helper_image = compiled.layout.image_of("helper")
+        helper_blocks = [
+            block for block in compiled.cfg.blocks.values()
+            if block.addresses
+            and helper_image.base_address <= block.addresses[0]
+            < helper_image.end_address
+        ]
+        contexts = {block.context for block in helper_blocks}
+        assert len(contexts) == 2  # one copy per call site
+        addresses_per_context = {
+            context: sorted(address for block in helper_blocks
+                            if block.context == context
+                            for address in block.addresses)
+            for context in contexts
+        }
+        first, second = addresses_per_context.values()
+        assert first == second  # same code, shared addresses
+
+    def test_call_inside_loop_is_in_loop_body(self):
+        from repro.cfg import find_loops
+        program = Program([
+            Function("main", [Loop(3, [Call("helper")])]),
+            Function("helper", [Compute(4)]),
+        ])
+        compiled = compile_program(program)
+        forest = find_loops(compiled.cfg)
+        outer = [loop for loop in forest.loops.values() if loop.depth == 1]
+        assert len(outer) == 1
+        helper_blocks = [block.block_id
+                         for block in compiled.cfg.blocks.values()
+                         if block.context]
+        assert helper_blocks
+        assert all(block_id in outer[0].body for block_id in helper_blocks)
+
+    def test_entry_and_exit_are_mains(self):
+        program = Program([
+            Function("main", [Call("helper")]),
+            Function("helper", [Compute(2)]),
+        ])
+        compiled = compile_program(program)
+        assert compiled.cfg.block(compiled.cfg.entry_id).context == ()
+        assert compiled.cfg.block(compiled.cfg.exit_id).context == ()
+
+    def test_nested_calls_nest_contexts(self):
+        program = Program([
+            Function("main", [Call("middle")]),
+            Function("middle", [Call("leaf")]),
+            Function("leaf", [Compute(2)]),
+        ])
+        compiled = compile_program(program)
+        depths = {len(block.context)
+                  for block in compiled.cfg.blocks.values()}
+        assert depths == {0, 1, 2}
+
+    @settings(max_examples=25, deadline=None)
+    @given(multi_function_programs())
+    def test_random_multi_function_programs_valid(self, program):
+        compiled = compile_program(program)
+        compiled.cfg.validate()
+        assert compiled.code_size_bytes() > 0

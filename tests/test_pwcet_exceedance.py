@@ -1,0 +1,87 @@
+"""Exceedance curves: step-function semantics and construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError
+from repro.pwcet import DiscreteDistribution, ExceedanceCurve
+
+
+def curve() -> ExceedanceCurve:
+    return ExceedanceCurve(values=np.array([100, 200, 500]),
+                           probabilities=np.array([0.5, 1e-3, 0.0]))
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(DistributionError):
+            ExceedanceCurve(values=np.array([1, 2]),
+                            probabilities=np.array([0.5]))
+
+    def test_values_must_increase(self):
+        with pytest.raises(DistributionError):
+            ExceedanceCurve(values=np.array([2, 1]),
+                            probabilities=np.array([0.5, 0.1]))
+
+    def test_probabilities_must_decrease(self):
+        with pytest.raises(DistributionError):
+            ExceedanceCurve(values=np.array([1, 2]),
+                            probabilities=np.array([0.1, 0.5]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            ExceedanceCurve(values=np.array([]),
+                            probabilities=np.array([]))
+
+
+class TestQueries:
+    def test_pwcet_picks_smallest_adequate(self):
+        assert curve().pwcet(0.6) == 100
+        assert curve().pwcet(0.5) == 100
+        assert curve().pwcet(0.4) == 200
+        assert curve().pwcet(1e-3) == 200
+        assert curve().pwcet(1e-9) == 500
+
+    def test_pwcet_bad_probability(self):
+        with pytest.raises(DistributionError):
+            curve().pwcet(0.0)
+
+    def test_exceedance_at(self):
+        c = curve()
+        assert c.exceedance_at(50) == 1.0
+        assert c.exceedance_at(100) == 0.5
+        assert c.exceedance_at(150) == 0.5
+        assert c.exceedance_at(200) == 1e-3
+        assert c.exceedance_at(10_000) == 0.0
+
+    def test_rows(self):
+        rows = curve().rows()
+        assert rows[0] == (100, 0.5)
+        assert len(rows) == 3
+
+
+class TestFromPenaltyDistribution:
+    def test_lifting_to_cycles(self):
+        penalty = DiscreteDistribution.from_points({0: 0.9, 3: 0.1})
+        c = ExceedanceCurve.from_penalty_distribution(
+            penalty, wcet_fault_free=1000, memory_cycles=100)
+        assert c.values[0] == 1000
+        assert c.values[-1] == 1300
+        assert c.exceedance_at(1000) == pytest.approx(0.1)
+        assert c.exceedance_at(1300) == 0.0
+
+    def test_curve_starts_at_fault_free(self):
+        penalty = DiscreteDistribution.from_points({2: 1.0})
+        c = ExceedanceCurve.from_penalty_distribution(
+            penalty, wcet_fault_free=500, memory_cycles=100)
+        assert c.values[0] == 500
+        assert c.exceedance_at(500) == pytest.approx(1.0)
+
+    def test_matches_distribution_quantile(self):
+        penalty = DiscreteDistribution.from_points(
+            {0: 0.99, 5: 0.00999, 50: 1e-5 - 1e-9, 500: 1e-9})
+        c = ExceedanceCurve.from_penalty_distribution(
+            penalty, wcet_fault_free=1000, memory_cycles=100)
+        for probability in (0.5, 1e-3, 1e-6, 1e-12):
+            expected = 1000 + 100 * penalty.quantile_exceedance(probability)
+            assert c.pwcet(probability) == expected

@@ -1,0 +1,124 @@
+"""Reliability mechanisms and the SRB must-analysis."""
+
+import pytest
+
+from repro.cache import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.faults import FaultProbabilityModel
+from repro.minic import (Call, Compute, Function, Loop, Program,
+                         compile_program)
+from repro.reliability import (MECHANISMS, NoProtection, ReliableWay,
+                               SharedReliableBuffer, mechanism_by_name,
+                               srb_always_hit_references)
+
+GEOMETRY = CacheGeometry.from_size(1024, 4, 16)
+MODEL = FaultProbabilityModel(geometry=GEOMETRY, pfail=1e-4)
+
+
+class TestRegistry:
+    def test_three_mechanisms(self):
+        assert [m.name for m in MECHANISMS] == ["none", "srb", "rw"]
+
+    def test_lookup_by_name(self):
+        assert isinstance(mechanism_by_name("rw"), ReliableWay)
+        assert isinstance(mechanism_by_name("srb"), SharedReliableBuffer)
+        assert isinstance(mechanism_by_name("none"), NoProtection)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            mechanism_by_name("ecc")
+
+
+class TestFaultCounts:
+    def test_no_protection_covers_all(self):
+        assert NoProtection().fault_counts(4) == (0, 1, 2, 3, 4)
+
+    def test_rw_excludes_all_faulty(self):
+        assert ReliableWay().fault_counts(4) == (0, 1, 2, 3)
+
+    def test_srb_covers_all(self):
+        assert SharedReliableBuffer().fault_counts(4) == (0, 1, 2, 3, 4)
+
+    def test_pmfs_sum_to_one(self):
+        for mechanism in MECHANISMS:
+            pmf = mechanism.fault_pmf(MODEL)
+            assert sum(pmf.values()) == pytest.approx(1.0)
+            assert set(pmf) == set(mechanism.fault_counts(GEOMETRY.ways))
+
+    def test_srb_flag(self):
+        assert SharedReliableBuffer().uses_srb
+        assert not NoProtection().uses_srb
+        assert not ReliableWay().uses_srb
+
+    def test_rw_pmf_matches_equation_3(self):
+        pmf = ReliableWay().fault_pmf(MODEL)
+        for w, probability in pmf.items():
+            assert probability == pytest.approx(MODEL.pwf_reliable_way(w))
+
+
+class TestSRBAnalysis:
+    def test_straight_line_spatial_hits(self, straight_line_program):
+        """Within a line, every fetch after the first is an SRB hit."""
+        hits = srb_always_hit_references(straight_line_program.cfg,
+                                         GEOMETRY)
+        cfg = straight_line_program.cfg
+        for block in cfg.blocks.values():
+            for index, instruction in enumerate(block.instructions):
+                key = (block.block_id, index)
+                crosses_line = (index == 0 or
+                                instruction.address // 16
+                                != block.instructions[index - 1].address
+                                // 16)
+                if not crosses_line:
+                    assert key in hits
+
+    def test_paper_example_pattern(self):
+        """The paper's a1 a2 b1 b2 a1 a2 example (§III-B2).
+
+        Modelled as a loop whose body spans two cache lines in
+        different sets: the second fetch of each line is an SRB hit,
+        the first fetch of line A on re-entry is NOT (the SRB may have
+        been reloaded by line B in between).
+        """
+        # 8 instructions = exactly 2 lines; loop repeats them.
+        program = Program([Function("main", [Loop(3, [Compute(1)])])],
+                          name="ab")
+        compiled = compile_program(program)
+        hits = srb_always_hit_references(compiled.cfg, GEOMETRY)
+        cfg = compiled.cfg
+        for block in cfg.blocks.values():
+            for index in range(1, len(block.instructions)):
+                line = block.instructions[index].address // 16
+                previous_line = block.instructions[index - 1].address // 16
+                key = (block.block_id, index)
+                if line == previous_line:
+                    # Same line as the immediately preceding fetch:
+                    # guaranteed SRB hit (spatial locality).
+                    assert key in hits
+                else:
+                    # Crossing into a new line within a block: the SRB
+                    # held the previous line, so this fetch misses.
+                    assert key not in hits
+
+    def test_loop_header_reentry_not_hit(self):
+        """Across iterations the SRB forgets (conservatively)."""
+        program = Program([Function("main", [Loop(5, [Compute(12)])])],
+                          name="wide_loop")
+        compiled = compile_program(program)
+        hits = srb_always_hit_references(compiled.cfg, GEOMETRY)
+        cfg = compiled.cfg
+        headers = [block for block in cfg.blocks.values()
+                   if block.loop_bound is not None]
+        [header] = headers
+        # The header's first instruction follows either the init block
+        # or the latch; those end in different lines, so no SRB hit.
+        assert (header.block_id, 0) not in hits
+
+    def test_srb_hits_subset_of_must_hits(self, call_program):
+        """An SRB hit is a fortiori a must-hit of the real cache."""
+        from repro.analysis import CacheAnalysis, Chmc
+        hits = srb_always_hit_references(call_program.cfg, GEOMETRY)
+        analysis = CacheAnalysis(call_program.cfg, GEOMETRY)
+        table = analysis.classification()
+        for block_id, index in hits:
+            assert table.of(block_id, index).chmc is Chmc.ALWAYS_HIT

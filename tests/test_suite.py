@@ -1,0 +1,73 @@
+"""The 25-benchmark suite: availability, structure, metadata."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.suite import (EVALUATED_BENCHMARKS, BenchmarkInfo, build, info,
+                         load)
+
+
+class TestRegistry:
+    def test_exactly_25_benchmarks(self):
+        assert len(EVALUATED_BENCHMARKS) == 25
+        assert len(set(EVALUATED_BENCHMARKS)) == 25
+
+    def test_paper_named_benchmarks_present(self):
+        """The benchmarks the paper mentions by name must exist."""
+        for name in ("adpcm", "matmult", "ud", "fft"):
+            assert name in EVALUATED_BENCHMARKS
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build("dhrystone")
+
+    def test_build_memoised(self):
+        assert build("bs") is build("bs")
+
+    def test_load_memoised(self):
+        assert load("bs") is load("bs")
+
+
+@pytest.mark.parametrize("name", EVALUATED_BENCHMARKS)
+class TestEveryBenchmark:
+    def test_builds_and_compiles(self, name):
+        compiled = load(name)
+        compiled.cfg.validate()
+        assert compiled.name == name
+
+    def test_has_loops_with_bounds(self, name):
+        from repro.cfg import find_loops
+        compiled = load(name)
+        forest = find_loops(compiled.cfg)
+        assert len(forest) >= 1
+        for loop in forest.loops.values():
+            assert loop.bound >= 1
+
+    def test_info_metadata(self, name):
+        metadata = info(name)
+        assert isinstance(metadata, BenchmarkInfo)
+        assert metadata.code_bytes > 0
+        assert metadata.description  # first docstring line
+
+    def test_instruction_addresses_unique_per_context(self, name):
+        compiled = load(name)
+        seen: dict[tuple, set] = {}
+        for block in compiled.cfg.blocks.values():
+            bucket = seen.setdefault(block.context, set())
+            for address in block.addresses:
+                assert address not in bucket
+                bucket.add(address)
+
+
+class TestSuiteShape:
+    def test_footprint_spread(self):
+        """The suite must span small kernels and over-cache programs."""
+        sizes = {name: info(name).code_bytes
+                 for name in EVALUATED_BENCHMARKS}
+        assert min(sizes.values()) < 512       # tiny kernels exist
+        assert max(sizes.values()) > 4096      # cache-busting code exists
+
+    def test_nsichneu_is_the_biggest(self):
+        sizes = {name: info(name).code_bytes
+                 for name in EVALUATED_BENCHMARKS}
+        assert max(sizes, key=sizes.__getitem__) == "nsichneu"
