@@ -32,6 +32,7 @@ from repro.pwcet import (DiscreteDistribution, EstimatorConfig,
 from repro.pwcet.estimator import TARGET_EXCEEDANCE
 from repro.reliability import (MECHANISMS, NoProtection, ReliableWay,
                                SharedReliableBuffer, mechanism_by_name)
+from repro.solve import SolvePlanner, SolveRequest, SolveStats
 
 __version__ = "1.0.0"
 
@@ -70,5 +71,8 @@ __all__ = [
     "ReliableWay",
     "SharedReliableBuffer",
     "mechanism_by_name",
+    "SolvePlanner",
+    "SolveRequest",
+    "SolveStats",
     "__version__",
 ]

@@ -32,11 +32,17 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default 1e-15)")
     parser.add_argument("--relaxed", action="store_true",
                         help="solve LP relaxations (sound, faster)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool width for batched solving "
+                             "(default 1: in-process)")
 
 
 def _config_from(arguments: argparse.Namespace) -> EstimatorConfig:
+    if arguments.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {arguments.workers}")
     return EstimatorConfig(pfail=arguments.pfail,
-                           relaxed=arguments.relaxed)
+                           relaxed=arguments.relaxed,
+                           workers=arguments.workers)
 
 
 def _estimator_for(name: str,

@@ -2,12 +2,17 @@
 
 All figure generators need the same per-benchmark artefacts (fault-free
 WCET, the three pWCET estimates); this module computes them once per
-(benchmark, configuration) and caches in process.
+(benchmark, configuration) and caches in process.  The suite can also
+fan benchmarks out over a ``concurrent.futures`` process pool
+(``run_suite(workers=...)`` or ``EstimatorConfig(workers=...)``);
+results are bit-identical to the sequential path and land in the same
+cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
 
 from repro.pwcet import EstimatorConfig, PWCETEstimate, PWCETEstimator
 from repro.pwcet.estimator import TARGET_EXCEEDANCE
@@ -61,9 +66,40 @@ def run_benchmark(name: str, config: EstimatorConfig | None = None, *,
 
 def run_suite(config: EstimatorConfig | None = None, *,
               target_probability: float = TARGET_EXCEEDANCE,
-              benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS
-              ) -> list[BenchmarkResult]:
-    """Run the whole 25-benchmark suite (Figure 4's input data)."""
+              benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
+              workers: int | None = None) -> list[BenchmarkResult]:
+    """Run the whole 25-benchmark suite (Figure 4's input data).
+
+    ``workers`` (default: the configuration's ``workers`` field) > 1
+    distributes whole benchmarks over a process pool; each worker runs
+    the full pipeline for its benchmark and ships the pickled result
+    back, so outputs match the sequential path exactly.
+    """
+    if config is None:
+        config = EstimatorConfig()
+    if workers is None:
+        workers = config.workers
+    pending = [name for name in benchmarks
+               if (name, config, target_probability) not in _CACHE]
+    if workers > 1 and len(pending) > 1:
+        items = [(name, config, target_probability) for name in pending]
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(items))) as pool:
+            for name, result in zip(pending,
+                                    pool.map(_run_benchmark_task, items)):
+                _CACHE[(name, config, target_probability)] = result
     return [run_benchmark(name, config,
                           target_probability=target_probability)
             for name in benchmarks]
+
+
+def _run_benchmark_task(item: tuple[str, EstimatorConfig, float]
+                        ) -> BenchmarkResult:
+    """Pool entry point: one whole benchmark per task.
+
+    The child runs single-worker — benchmark-level parallelism already
+    owns the pool, so nesting per-ILP pools would only add overhead.
+    """
+    name, config, target_probability = item
+    return run_benchmark(name, replace(config, workers=1),
+                         target_probability=target_probability)

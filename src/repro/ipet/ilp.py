@@ -1,9 +1,13 @@
-"""A small (I)LP layer over ``scipy.optimize.milp`` (HiGHS).
+"""A small (I)LP layer over HiGHS (persistent model or scipy fallback).
 
-The paper uses CPLEX 12.5; HiGHS via scipy is the offline substitute.
-Models are built once (variables + constraints) and can be solved for
-several objectives — the FMM computation reuses one flow polytope for
-every (set, fault count) pair.
+The paper uses CPLEX 12.5; HiGHS is the offline substitute.  Models
+are built once (variables + constraints) and solved for many
+objectives — the FMM computation reuses one flow polytope for every
+(set, fault count) pair.  Solver inputs are frozen on first solve
+(:class:`~repro.solve.backend.ProgramSnapshot`): the CSC matrix,
+variable bounds and row bounds are materialised once per model
+version instead of per call, and the backend keeps a persistent HiGHS
+instance whose cost vector is swapped in place between solves.
 
 Solving the LP relaxation instead of the ILP is supported: for a
 *maximisation* the relaxation can only over-estimate, so a relaxed
@@ -17,18 +21,10 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import optimize, sparse
 
 from repro.errors import SolverError
-
-#: Map of scipy.milp status codes to human-readable causes.
-_MILP_STATUS = {
-    0: "optimal",
-    1: "iteration or time limit",
-    2: "infeasible",
-    3: "unbounded",
-    4: "numerical difficulties",
-}
+from repro.solve.backend import (ProgramSnapshot, SolverBackend,
+                                 make_backend)
 
 
 @dataclass(frozen=True)
@@ -52,6 +48,8 @@ class LinearProgram:
 
     All variables are non-negative; bounds are optional per variable.
     Constraints are ``<=`` or ``==`` rows over variable indices.
+    Structural edits bump :attr:`version`, which invalidates the
+    frozen snapshot and any persistent backend built from it.
     """
 
     def __init__(self, name: str = "lp") -> None:
@@ -62,7 +60,11 @@ class LinearProgram:
         self._rows: list[dict[int, float]] = []
         self._row_lb: list[float] = []
         self._row_ub: list[float] = []
-        self._frozen_matrix: sparse.csc_matrix | None = None
+        self._version = 0
+        self._snapshot: ProgramSnapshot | None = None
+        self._snapshot_version = -1
+        self._backend: SolverBackend | None = None
+        self._backend_version = -1
 
     # -- model building ------------------------------------------------
     def add_variable(self, name: str, *, lower: float = 0.0,
@@ -74,7 +76,7 @@ class LinearProgram:
         self._names.append(name)
         self._lower.append(lower)
         self._upper.append(math.inf if upper is None else upper)
-        self._frozen_matrix = None
+        self._version += 1
         return len(self._names) - 1
 
     @property
@@ -84,6 +86,11 @@ class LinearProgram:
     @property
     def num_constraints(self) -> int:
         return len(self._rows)
+
+    @property
+    def version(self) -> int:
+        """Bumped on every structural edit (variable or row added)."""
+        return self._version
 
     def variable_name(self, index: int) -> str:
         return self._names[index]
@@ -106,7 +113,24 @@ class LinearProgram:
         self._rows.append(dict(coefficients))
         self._row_lb.append(lb)
         self._row_ub.append(ub)
-        self._frozen_matrix = None
+        self._version += 1
+
+    # -- frozen inputs ---------------------------------------------------
+    def snapshot(self) -> ProgramSnapshot:
+        """The frozen constraint system for the current version."""
+        if self._snapshot is None or self._snapshot_version != self._version:
+            self._snapshot = ProgramSnapshot.from_rows(
+                self.name, self._lower, self._upper, self._rows,
+                self._row_lb, self._row_ub)
+            self._snapshot_version = self._version
+        return self._snapshot
+
+    def backend(self) -> SolverBackend:
+        """The persistent solve backend for the current version."""
+        if self._backend is None or self._backend_version != self._version:
+            self._backend = make_backend(self.snapshot())
+            self._backend_version = self._version
+        return self._backend
 
     # -- solving ---------------------------------------------------------
     def maximize(self, objective: dict[int, float], *,
@@ -119,44 +143,18 @@ class LinearProgram:
         """Minimise a linear objective over the model."""
         return self._solve(objective, sign=1.0, relaxed=relaxed)
 
-    def _matrix(self) -> sparse.csc_matrix:
-        if self._frozen_matrix is None:
-            data, row_idx, col_idx = [], [], []
-            for row, coefficients in enumerate(self._rows):
-                for col, value in coefficients.items():
-                    data.append(value)
-                    row_idx.append(row)
-                    col_idx.append(col)
-            self._frozen_matrix = sparse.csc_matrix(
-                (data, (row_idx, col_idx)),
-                shape=(len(self._rows), len(self._names)))
-        return self._frozen_matrix
-
     def _solve(self, objective: dict[int, float], sign: float,
                relaxed: bool) -> Solution:
         n = len(self._names)
-        c = np.zeros(n)
-        for index, coefficient in objective.items():
+        for index in objective:
             if not 0 <= index < n:
                 raise SolverError(f"unknown variable index {index}")
-            c[index] = sign * coefficient
+        value, values = self.backend().solve(objective, sign, relaxed)
+        return Solution(objective=value, values=values, relaxed=relaxed)
 
-        constraints = []
-        if self._rows:
-            constraints.append(optimize.LinearConstraint(
-                self._matrix(), np.array(self._row_lb),
-                np.array(self._row_ub)))
-        bounds = optimize.Bounds(np.array(self._lower),
-                                 np.array(self._upper))
-        integrality = np.zeros(n) if relaxed else np.ones(n)
-        result = optimize.milp(c=c, constraints=constraints, bounds=bounds,
-                               integrality=integrality)
-        if not result.success:
-            cause = _MILP_STATUS.get(result.status,
-                                     f"status {result.status}")
-            raise SolverError(
-                f"{self.name}: solver failed ({cause}): {result.message}")
-        # milp always minimises; undo the sign flip used for maximise.
-        objective_value = float(result.fun) / sign
-        return Solution(objective=objective_value, values=result.x,
-                        relaxed=relaxed)
+    # -- pickling --------------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_backend"] = None  # backends hold process-local handles
+        state["_backend_version"] = -1
+        return state

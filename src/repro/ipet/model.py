@@ -23,6 +23,7 @@ from repro.analysis.chmc import GLOBAL_SCOPE
 from repro.cfg import CFG, LoopForest, find_loops
 from repro.errors import SolverError
 from repro.ipet.ilp import LinearProgram
+from repro.solve.planner import SolvePlanner
 
 
 class FlowModel:
@@ -33,6 +34,7 @@ class FlowModel:
         self.cfg = cfg
         self.forest = forest if forest is not None else find_loops(cfg)
         self.program = LinearProgram(name=f"ipet:{cfg.name}")
+        self._planner: SolvePlanner | None = None
 
         self._edge_vars: dict[tuple[int, int], int] = {}
         for edge in cfg.edges():
@@ -47,6 +49,17 @@ class FlowModel:
         self._add_loop_bounds()
         #: Memoised FM variables keyed by (block_id, scope).
         self._fm_vars: dict[tuple[int, int], int] = {}
+
+    @property
+    def planner(self) -> SolvePlanner:
+        """The shared solve planner of this polytope.
+
+        Lazy and unique per flow model, so every consumer (WCET, all
+        FMM mechanisms) dedups against one canonical-objective cache.
+        """
+        if self._planner is None:
+            self._planner = SolvePlanner(self.program)
+        return self._planner
 
     # ------------------------------------------------------------------
     def edge_var(self, src: int, dst: int) -> int:

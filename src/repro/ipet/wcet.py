@@ -48,7 +48,8 @@ class WCETResult:
 def compute_wcet(cfg: CFG, table: ClassificationTable, timing: TimingModel,
                  *, forest: LoopForest | None = None,
                  flow_model: FlowModel | None = None,
-                 relaxed: bool = False) -> WCETResult:
+                 relaxed: bool = False,
+                 planner=None) -> WCETResult:
     """WCET of one task activation under a classification table.
 
     Cost model per reference:
@@ -62,6 +63,8 @@ def compute_wcet(cfg: CFG, table: ClassificationTable, timing: TimingModel,
         flow_model = FlowModel(cfg, forest)
     elif flow_model.cfg is not cfg:
         raise ConfigurationError("flow model belongs to a different CFG")
+    if planner is None:
+        planner = flow_model.planner
 
     objective: dict[int, float] = {}
 
@@ -92,7 +95,7 @@ def compute_wcet(cfg: CFG, table: ClassificationTable, timing: TimingModel,
         # A program with no instructions costs nothing.
         return WCETResult(cycles=0, block_counts={}, relaxed=relaxed)
 
-    solution = flow_model.program.maximize(objective, relaxed=relaxed)
+    solution = planner.solve_with_values(objective, relaxed=relaxed)
     block_counts = {
         block_id: int(round(sum(
             solution.value_of(variable)

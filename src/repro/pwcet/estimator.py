@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.analysis import CacheAnalysis
 from repro.cache import CacheGeometry
 from repro.cfg import CFG
@@ -52,6 +54,11 @@ class EstimatorConfig:
     pfail: float = 1e-4
     #: Solve LP relaxations instead of ILPs (sound, looser, faster).
     relaxed: bool = False
+    #: Process-pool width for batched ILP solving (1 = in-process).
+    #: Execution policy, not a hardware parameter: results are
+    #: identical for any width, so it is excluded from equality (and
+    #: hence from the experiment runner's memoisation key).
+    workers: int = field(default=1, compare=False)
 
     def fault_model(self) -> FaultProbabilityModel:
         return FaultProbabilityModel(geometry=self.geometry,
@@ -96,7 +103,6 @@ class PWCETEstimate:
             label=f"{self.program_name}/{self.mechanism_name}")
         if self.exceedance_correction == 0.0:
             return curve
-        import numpy as np
         lifted = np.minimum(
             curve.probabilities + self.exceedance_correction, 1.0)
         return ExceedanceCurve(values=curve.values, probabilities=lifted,
@@ -122,6 +128,10 @@ class PWCETEstimator:
         self._name = name if name is not None else cfg.name
         self._analysis = CacheAnalysis(cfg, config.geometry)
         self._flow_model = FlowModel(cfg, self._analysis.forest)
+        #: One planner per estimator: WCET and every mechanism's FMM
+        #: dedup against the same canonical-objective cache.
+        self._planner = self._flow_model.planner
+        self._planner.workers = config.workers
         self._fault_model = config.fault_model()
         self._wcet_fault_free: int | None = None
         self._fmm_cache: dict[str, FaultMissMap] = {}
@@ -143,6 +153,11 @@ class PWCETEstimator:
     def name(self) -> str:
         return self._name
 
+    @property
+    def solver_stats(self):
+        """Planner counters (solved/pruned/deduped) for this estimator."""
+        return self._planner.stats
+
     # ------------------------------------------------------------------
     def fault_free_wcet(self) -> int:
         """The deterministic WCET on a fault-free cache (§II-B)."""
@@ -150,7 +165,7 @@ class PWCETEstimator:
             result = compute_wcet(
                 self._cfg, self._analysis.classification(),
                 self._config.timing, flow_model=self._flow_model,
-                relaxed=self._config.relaxed)
+                relaxed=self._config.relaxed, planner=self._planner)
             self._wcet_fault_free = result.cycles
         return self._wcet_fault_free
 
@@ -160,7 +175,7 @@ class PWCETEstimator:
         if mechanism.name not in self._fmm_cache:
             self._fmm_cache[mechanism.name] = compute_fault_miss_map(
                 self._analysis, mechanism, flow_model=self._flow_model,
-                relaxed=self._config.relaxed)
+                relaxed=self._config.relaxed, planner=self._planner)
         return self._fmm_cache[mechanism.name]
 
     def penalty_distribution(self, mechanism: ReliabilityMechanism | str

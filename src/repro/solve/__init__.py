@@ -1,0 +1,48 @@
+"""Batched solve planning for the IPET/FMM linear programs.
+
+The pipeline's dominant cost is the per-(set, fault count) ILP sweep
+behind the Fault Miss Map (paper §II-C): hundreds of small maximisation
+problems over one shared flow polytope.  This package turns those
+solves from eager calls into *planned* work:
+
+``request``
+    :class:`SolveRequest` — a declarative, canonically-keyed
+    description of one maximisation (objective + relaxation mode).
+    Two requests with the same key provably have the same optimum.
+
+``backend``
+    Frozen solver inputs.  :class:`ProgramSnapshot` captures a
+    :class:`~repro.ipet.ilp.LinearProgram`'s constraint system once
+    (CSC matrix, bounds, row bounds) and the backends solve many
+    objectives against it without rebuilding anything: a persistent
+    HiGHS model (cost vector swapped in place) when scipy's vendored
+    ``highspy`` is usable, else a frozen ``scipy.optimize.milp`` path.
+
+``planner``
+    :class:`SolvePlanner` — dedupes requests by canonical key,
+    prunes FMM columns with monotonicity + an LP-relaxation
+    pre-screen, short-circuits empty objectives, batch-solves unique
+    requests across a ``concurrent.futures`` process pool, and keeps
+    :class:`SolveStats` counters for benchmarking.
+
+Lifecycle: callers build requests (cheap, no solver involved), hand
+them to a planner bound to the shared program, and read integer bounds
+back; identical objectives — within one mechanism's symmetric sets or
+across mechanisms sharing degraded classifications — are solved once.
+"""
+
+from repro.solve.backend import (ProgramSnapshot, SolverBackend,
+                                 available_backends, make_backend)
+from repro.solve.planner import SolvePlanner, SolveStats
+from repro.solve.request import SolveRequest, canonical_objective
+
+__all__ = [
+    "ProgramSnapshot",
+    "SolverBackend",
+    "available_backends",
+    "make_backend",
+    "SolvePlanner",
+    "SolveStats",
+    "SolveRequest",
+    "canonical_objective",
+]

@@ -1,0 +1,261 @@
+"""The solve planner: dedup, prune, and batch the ILP sweep.
+
+One planner is bound to one shared :class:`LinearProgram` (the flow
+polytope) and mediates every objective solved against it:
+
+* **dedup** — results are cached by the request's canonical objective
+  key, so symmetric cache sets, repeated degradation patterns, and
+  mechanisms sharing degraded classifications are solved once;
+* **monotonicity pruning** — FMM rows are non-decreasing in fault
+  count, so a column whose cheap LP-relaxation bound does not exceed
+  the previous column's value is provably equal to it and the ILP is
+  skipped (:meth:`SolvePlanner.fmm_row`);
+* **empty short-circuit** — a column with no degradable reference is
+  0-penalty and never touches the solver;
+* **batching** — :meth:`SolvePlanner.prime` solves the unique
+  uncached requests of a whole sweep up front, optionally across a
+  ``concurrent.futures`` process pool (workers re-freeze the program
+  from a picklable :class:`~repro.solve.backend.ProgramSnapshot`).
+
+All shortcuts are value-preserving: planned results are bit-identical
+to solving every (set, fault count) ILP directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import SolverError
+from repro.solve.backend import ProgramSnapshot, ceil_bound, make_backend
+from repro.solve.request import SolveRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ipet.ilp import LinearProgram, Solution
+
+
+@dataclass
+class SolveStats:
+    """Counters describing how much solver work the planner avoided."""
+
+    #: FMM cells requested (including empty and pruned ones).
+    requests: int = 0
+    #: Integer programs actually handed to the backend.
+    ilp_solved: int = 0
+    #: LP relaxations solved (pre-screens plus relaxed-mode solves).
+    lp_solved: int = 0
+    #: Requests answered from the canonical-objective cache.
+    dedup_hits: int = 0
+    #: Cells skipped because their objective was empty.
+    pruned_empty: int = 0
+    #: Cells skipped because the relaxed bound could not beat the
+    #: previous column (monotonicity + LP pre-screen).
+    pruned_relaxation: int = 0
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        solvable = self.requests - self.pruned_empty
+        return self.dedup_hits / solvable if solvable else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "requests": self.requests,
+            "ilp_solved": self.ilp_solved,
+            "lp_solved": self.lp_solved,
+            "dedup_hits": self.dedup_hits,
+            "pruned_empty": self.pruned_empty,
+            "pruned_relaxation": self.pruned_relaxation,
+            "dedup_hit_rate": self.dedup_hit_rate,
+        }
+
+
+class SolvePlanner:
+    """Plans every solve against one shared flow polytope."""
+
+    #: Consecutive failed pre-screens tolerated before the planner
+    #: stops paying for relaxations on this program (a successful
+    #: prune refills the budget).  The screen only pays off when the
+    #: flow polytope's LP bounds are near-integral; on programs where
+    #: every relaxation has fractional slack it would otherwise add
+    #: one wasted LP per solved ILP.
+    PRESCREEN_MISS_BUDGET = 8
+
+    def __init__(self, program: "LinearProgram", *,
+                 prescreen: bool = True, dedup: bool = True,
+                 workers: int = 1) -> None:
+        self.program = program
+        self.prescreen = prescreen
+        self.dedup = dedup
+        self.workers = workers
+        self.stats = SolveStats()
+        self._results: dict[object, int] = {}
+        self._relaxed_bounds: dict[object, int] = {}
+        self._screen_budget = self.PRESCREEN_MISS_BUDGET
+        #: Keys solved ahead of time by :meth:`prime` whose first
+        #: consumption must not count as a dedup hit.
+        self._primed: set[object] = set()
+
+    # -- single requests -----------------------------------------------
+    def solve(self, request: SolveRequest) -> int:
+        """Integer bound of one request, through the dedup cache."""
+        key = request.key
+        if self.dedup and key in self._results:
+            if key in self._primed:
+                self._primed.discard(key)
+            else:
+                self.stats.dedup_hits += 1
+            return self._results[key]
+        value = self._solve_uncached(request)
+        if self.dedup:
+            self._results[key] = value
+        return value
+
+    def relaxed_bound(self, request: SolveRequest) -> int:
+        """Ceiling of the LP-relaxation optimum (an ILP upper bound)."""
+        key = request.objective
+        if key not in self._relaxed_bounds:
+            solution = self.program.maximize(request.objective_dict(),
+                                             relaxed=True)
+            self.stats.lp_solved += 1
+            self._relaxed_bounds[key] = ceil_bound(solution.objective)
+        return self._relaxed_bounds[key]
+
+    def solve_with_values(self, objective: dict[int, float], *,
+                          relaxed: bool = False) -> "Solution":
+        """Uncached solve returning the full solution vector.
+
+        Used by the WCET computation, which reads edge counts off the
+        critical path; the frozen backend still avoids model rebuilds.
+        """
+        solution = self.program.maximize(objective, relaxed=relaxed)
+        if relaxed:
+            self.stats.lp_solved += 1
+        else:
+            self.stats.ilp_solved += 1
+        return solution
+
+    def _solve_uncached(self, request: SolveRequest) -> int:
+        solution = self.program.maximize(request.objective_dict(),
+                                         relaxed=request.relaxed)
+        if request.relaxed:
+            self.stats.lp_solved += 1
+            # LP relaxation of a maximisation: round up to stay sound.
+            return ceil_bound(solution.objective)
+        self.stats.ilp_solved += 1
+        return solution.rounded_objective()
+
+    # -- FMM row planning ----------------------------------------------
+    def fmm_row(self, columns: Sequence[SolveRequest | None]) -> tuple[int, ...]:
+        """Plan one FMM row; ``None`` marks an empty-objective column.
+
+        Columns are fault counts 1..max in order; the returned row is
+        prefixed with the mandatory 0-fault column.  The row value is
+        ``max(column bound, previous value)`` exactly as the direct
+        path computes it, which is what makes the relaxation pre-screen
+        lossless: when the relaxed upper bound cannot exceed the
+        previous value, the max is the previous value.
+        """
+        row = [0]
+        for request in columns:
+            previous = row[-1]
+            self.stats.requests += 1
+            if request is None:
+                self.stats.pruned_empty += 1
+                row.append(previous)
+                continue
+            if self.dedup and request.key in self._results:
+                if request.key in self._primed:
+                    # First fan-out of a batch-solved request: the
+                    # solve was already counted by prime().
+                    self._primed.discard(request.key)
+                else:
+                    self.stats.dedup_hits += 1
+                row.append(max(self._results[request.key], previous))
+                continue
+            if (self.prescreen and self._screen_budget > 0
+                    and not request.relaxed and previous > 0):
+                if self.relaxed_bound(request) <= previous:
+                    self.stats.pruned_relaxation += 1
+                    self._screen_budget = self.PRESCREEN_MISS_BUDGET
+                    row.append(previous)
+                    continue
+                self._screen_budget -= 1
+            value = self._solve_uncached(request)
+            if self.dedup:
+                self._results[request.key] = value
+            row.append(max(value, previous))
+        return tuple(row)
+
+    # -- batching --------------------------------------------------------
+    def prime(self, requests: Iterable[SolveRequest], *,
+              workers: int | None = None) -> None:
+        """Batch-solve the unique uncached requests of a sweep.
+
+        With ``workers > 1`` the unique objectives are distributed over
+        a process pool; every worker rebuilds a backend from the
+        program snapshot once and streams results back.  Results land
+        in the dedup cache, so the subsequent row planning is pure
+        fan-out.
+        """
+        if not self.dedup:
+            # Primed results land in the dedup cache; without it the
+            # row planning would just re-solve everything.
+            return
+        if workers is None:
+            workers = self.workers
+        unique: dict[object, SolveRequest] = {}
+        for request in requests:
+            if request.key not in self._results:
+                unique.setdefault(request.key, request)
+        if not unique:
+            return
+        pending = list(unique.values())
+        if workers <= 1 or len(pending) == 1:
+            for request in pending:
+                self._results[request.key] = self._solve_uncached(request)
+                self._primed.add(request.key)
+            return
+        num_variables = self.program.num_variables
+        for request in pending:
+            # Mirror the in-process index validation; the pooled
+            # backend would otherwise let bad indices wrap silently.
+            if (request.objective[0][0] < 0
+                    or request.objective[-1][0] >= num_variables):
+                raise SolverError(
+                    f"unknown variable index in request {request.tag}")
+        snapshot = self.program.snapshot()
+        payload = [(request.objective, request.relaxed)
+                   for request in pending]
+        chunk = max(1, len(payload) // (workers * 4))
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(payload)),
+                initializer=_pool_initializer,
+                initargs=(snapshot,)) as pool:
+            values = list(pool.map(_pool_solve, payload, chunksize=chunk))
+        for request, value in zip(pending, values):
+            self._results[request.key] = value
+            self._primed.add(request.key)
+            if request.relaxed:
+                self.stats.lp_solved += 1
+            else:
+                self.stats.ilp_solved += 1
+
+
+#: Backend rebuilt once per pool worker from the pickled snapshot.
+_WORKER_BACKEND = None
+
+
+def _pool_initializer(snapshot: ProgramSnapshot) -> None:
+    global _WORKER_BACKEND
+    _WORKER_BACKEND = make_backend(snapshot)
+
+
+def _pool_solve(item: tuple[tuple[tuple[int, float], ...], bool]) -> int:
+    objective, relaxed = item
+    value, _ = _WORKER_BACKEND.solve(dict(objective), sign=-1.0,
+                                     relaxed=relaxed)
+    if relaxed:
+        return ceil_bound(value)
+    return int(round(value))

@@ -1,0 +1,100 @@
+"""Size-ordered convolution reduction vs. the naive left fold.
+
+``DiscreteDistribution.convolve_all`` folds in support-size order (off
+a heap) instead of arrival order.  Convolution is commutative and
+associative, so the result is the same distribution; these property
+tests pin that the reduction is *exactly* the left fold's result on
+dyadic PMFs (where every intermediate float is exact, so any
+evaluation order must agree bit for bit), and equal to within float
+round-off — with identical supports and identical deep-tail
+quantiles — on arbitrary PMFs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pwcet.distribution import DiscreteDistribution
+
+
+def _left_fold(distributions):
+    """The historical reference reduction, in arrival order."""
+    result = None
+    for distribution in distributions:
+        result = (distribution if result is None
+                  else result.convolve(distribution))
+    if result is None:
+        return DiscreteDistribution.point_mass(0)
+    return result
+
+
+@st.composite
+def dyadic_distributions(draw):
+    """Sub-probability PMFs whose entries are multiples of 1/64.
+
+    Dyadic probabilities with mass <= 1 keep every product and sum in
+    an up-to-8-way convolution exactly representable in binary
+    floating point (numerators stay below 2**48), so *any* evaluation
+    order must produce bit-identical arrays.
+    """
+    size = draw(st.integers(1, 5))
+    weights = draw(st.lists(st.integers(0, 12), min_size=size,
+                            max_size=size).filter(lambda w: sum(w) > 0))
+    pmf = np.array(weights, dtype=np.float64) / 64.0
+    return DiscreteDistribution(pmf, normalized=False)
+
+
+@st.composite
+def float_distributions(draw):
+    """Arbitrary small positive PMFs (not necessarily normalised)."""
+    size = draw(st.integers(1, 6))
+    values = draw(st.lists(
+        st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False,
+                  exclude_min=False),
+        min_size=size, max_size=size).filter(lambda v: sum(v) > 0))
+    return DiscreteDistribution(np.array(values), normalized=False)
+
+
+class TestHeapReductionMatchesFold:
+    @given(st.lists(dyadic_distributions(), min_size=0, max_size=8))
+    @settings(max_examples=200)
+    def test_exact_on_dyadic_pmfs(self, distributions):
+        heap_result = DiscreteDistribution.convolve_all(distributions)
+        fold_result = _left_fold(distributions)
+        assert np.array_equal(heap_result.pmf, fold_result.pmf)
+
+    @given(st.lists(float_distributions(), min_size=1, max_size=8))
+    @settings(max_examples=200)
+    def test_support_and_tail_on_float_pmfs(self, distributions):
+        heap_result = DiscreteDistribution.convolve_all(distributions)
+        fold_result = _left_fold(distributions)
+        assert heap_result.support_max == fold_result.support_max
+        assert np.allclose(heap_result.pmf, fold_result.pmf,
+                           rtol=1e-9, atol=1e-300)
+
+    @given(st.lists(dyadic_distributions(), min_size=1, max_size=8),
+           st.integers(2, 14))
+    @settings(max_examples=100)
+    def test_quantiles_match_fold(self, distributions, exponent):
+        # Normalise the convolution to a proper distribution first.
+        combined = DiscreteDistribution.convolve_all(distributions)
+        mass = combined.total_mass
+        heap_result = DiscreteDistribution(combined.pmf / mass)
+        folded = _left_fold(distributions)
+        fold_result = DiscreteDistribution(folded.pmf / mass)
+        probability = 10.0 ** -exponent
+        assert (heap_result.quantile_exceedance(probability)
+                == fold_result.quantile_exceedance(probability))
+
+    def test_empty_input_is_point_mass_zero(self):
+        assert (DiscreteDistribution.convolve_all([])
+                == DiscreteDistribution.point_mass(0))
+
+    def test_size_order_is_observable(self):
+        # A deterministic case where arrival order differs from size
+        # order: the result must still match the fold exactly (dyadic).
+        big = DiscreteDistribution(np.array([0.25, 0.25, 0.25, 0.25]))
+        tiny = DiscreteDistribution(np.array([0.5, 0.5]))
+        assert np.array_equal(
+            DiscreteDistribution.convolve_all([big, tiny, big]).pmf,
+            _left_fold([big, tiny, big]).pmf)
