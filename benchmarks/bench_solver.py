@@ -31,7 +31,10 @@ MECHANISMS = ("none", "srb", "rw")
 
 
 def _pipeline(relaxed: bool, name: str = "ud") -> int:
-    config = EstimatorConfig(relaxed=relaxed)
+    # cache="off": this harness times the *planner*, so the persistent
+    # cross-run store must not answer for it (bench_sweep.py is the
+    # harness that measures the store).
+    config = EstimatorConfig(relaxed=relaxed, cache="off")
     estimator = PWCETEstimator(load(name), config, name=name)
     return estimator.estimate("none").pwcet()
 
@@ -66,14 +69,16 @@ def test_relaxation_gap_table(benchmark, emit):
 
 
 _COUNTER_KEYS = ("requests", "ilp_solved", "lp_solved", "dedup_hits",
-                 "pruned_empty", "pruned_relaxation")
+                 "store_hits", "pruned_empty", "pruned_structural",
+                 "pruned_relaxation")
 
 
 def _run_pipeline(names, *, planned: bool):
     """Estimate all mechanisms for every benchmark; returns counters."""
     totals = dict.fromkeys(_COUNTER_KEYS, 0)
     for name in names:
-        estimator = PWCETEstimator(load(name), EstimatorConfig(), name=name)
+        estimator = PWCETEstimator(load(name), EstimatorConfig(cache="off"),
+                                   name=name)
         if not planned:
             estimator._planner.dedup = False
             estimator._planner.prescreen = False
@@ -119,9 +124,11 @@ def test_planner_end_to_end_stats(benchmark, emit):
         "ilp_solved": int(stats["ilp_solved"]),
         "lp_solved": int(stats["lp_solved"]),
         "ilp_pruned": int(stats["pruned_empty"]
+                          + stats["pruned_structural"]
                           + stats["pruned_relaxation"]
                           + stats["dedup_hits"]),
         "pruned_empty": int(stats["pruned_empty"]),
+        "pruned_structural": int(stats["pruned_structural"]),
         "pruned_relaxation": int(stats["pruned_relaxation"]),
         "dedup_hits": int(stats["dedup_hits"]),
         "dedup_hit_rate": stats["dedup_hits"] / max(

@@ -32,7 +32,8 @@ from repro.pwcet import (DiscreteDistribution, EstimatorConfig,
 from repro.pwcet.estimator import TARGET_EXCEEDANCE
 from repro.reliability import (MECHANISMS, NoProtection, ReliableWay,
                                SharedReliableBuffer, mechanism_by_name)
-from repro.solve import SolvePlanner, SolveRequest, SolveStats
+from repro.solve import SolvePlanner, SolveRequest, SolveStats, SolveStore
+from repro.sweep import SweepResult, pareto_front, run_sweep
 
 __version__ = "1.0.0"
 
@@ -74,5 +75,9 @@ __all__ = [
     "SolvePlanner",
     "SolveRequest",
     "SolveStats",
+    "SolveStore",
+    "SweepResult",
+    "pareto_front",
+    "run_sweep",
     "__version__",
 ]

@@ -125,6 +125,37 @@ class CFG:
         return {address for block in self._blocks.values()
                 for address in block.addresses}
 
+    def digest(self) -> str:
+        """Content digest of everything the analyses read off the CFG.
+
+        Covers block ids, instruction addresses/sizes/kinds, call
+        targets, loop bounds, inlining contexts, the edge list and the
+        entry/exit designation — i.e. the full input of the cache
+        analyses and of the IPET flow polytope.  Two CFGs with equal
+        digests produce identical classifications (for a given
+        geometry) and an identical polytope, which is what lets the
+        persistent solve cache (:mod:`repro.solve.store`) key solved
+        objectives across runs.  Labels are excluded: they are
+        diagnostics only.
+        """
+        import hashlib
+
+        hasher = hashlib.sha256()
+
+        def feed(*parts: object) -> None:
+            hasher.update(repr(parts).encode("utf-8"))
+
+        feed("cfg", self.name, self._entry_id, self._exit_id)
+        for block_id in sorted(self._blocks):
+            block = self._blocks[block_id]
+            feed("block", block_id, block.loop_bound, block.context)
+            for instruction in block.instructions:
+                feed(instruction.address, instruction.kind.value,
+                     instruction.target)
+        for edge in self.edges():
+            feed("edge", edge)
+        return hasher.hexdigest()
+
     # ------------------------------------------------------------------
     # Traversals
     # ------------------------------------------------------------------

@@ -7,7 +7,12 @@ Commands
 ``curve``      exceedance series (Figure 3) for one benchmark.
 ``fmm``        print a benchmark's fault miss map (Figure 1.a style).
 ``tradeoff``   pWCET gain vs hardware cost (the §I trade-off).
+``sweep``      (geometry x pfail) design-space sweep, Pareto fronts.
 ``list``       list the available benchmarks with size metadata.
+
+All estimation commands consult the persistent solve cache
+(``REPRO_SOLVE_CACHE=off|<path>``, ``--cache``): a warm re-run of any
+command performs zero backend ILP solves.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import sys
 from repro.pwcet import EstimatorConfig, PWCETEstimator
 from repro.pwcet.estimator import TARGET_EXCEEDANCE
 from repro.suite import EVALUATED_BENCHMARKS, info, load
+from repro.sweep.grid import DEFAULT_LINES, DEFAULT_SIZES, DEFAULT_WAYS
 
 _MECHANISM_CHOICES = ("none", "srb", "rw", "srb+")
 
@@ -35,6 +41,10 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=1,
                         help="process-pool width for batched solving "
                              "(default 1: in-process)")
+    parser.add_argument("--cache", default=None, metavar="off|PATH",
+                        help="persistent solve-cache directory; 'off' "
+                             "disables it (default: REPRO_SOLVE_CACHE, "
+                             "else the user cache dir)")
 
 
 def _config_from(arguments: argparse.Namespace) -> EstimatorConfig:
@@ -42,7 +52,8 @@ def _config_from(arguments: argparse.Namespace) -> EstimatorConfig:
         raise SystemExit(f"--workers must be >= 1, got {arguments.workers}")
     return EstimatorConfig(pfail=arguments.pfail,
                            relaxed=arguments.relaxed,
-                           workers=arguments.workers)
+                           workers=arguments.workers,
+                           cache=arguments.cache)
 
 
 def _estimator_for(name: str,
@@ -103,6 +114,35 @@ def _command_tradeoff(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(arguments: argparse.Namespace) -> int:
+    from repro.sweep import format_sweep_report, geometry_grid, run_sweep
+    benchmarks = tuple(arguments.benchmarks or EVALUATED_BENCHMARKS)
+    for name in benchmarks:
+        if name not in EVALUATED_BENCHMARKS:
+            raise SystemExit(f"unknown benchmark {name!r}; "
+                             "see `python -m repro list`")
+    geometries = geometry_grid(sizes=tuple(arguments.sizes),
+                               ways=tuple(arguments.ways),
+                               lines=tuple(arguments.lines))
+    # --pfails defines the grid axis; without it, the shared --pfail
+    # value becomes a one-point axis instead of being ignored.
+    pfails = (tuple(arguments.pfails) if arguments.pfails is not None
+              else (arguments.pfail,))
+    result = run_sweep(geometries,
+                       pfails=pfails,
+                       benchmarks=benchmarks,
+                       config=_config_from(arguments),
+                       probability=arguments.probability)
+    text = format_sweep_report(result)
+    if arguments.output:
+        with open(arguments.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"sweep report written to {arguments.output}")
+    else:
+        print(text)
+    return 0
+
+
 def _command_list(_arguments: argparse.Namespace) -> int:
     print(f"{'benchmark':14s} {'bytes':>7s} {'instrs':>7s}  description")
     for name in EVALUATED_BENCHMARKS:
@@ -156,6 +196,29 @@ def build_parser() -> argparse.ArgumentParser:
     tradeoff.add_argument("benchmark", nargs="*")
     _add_config_arguments(tradeoff)
     tradeoff.set_defaults(handler=_command_tradeoff)
+
+    sweep = commands.add_parser(
+        "sweep", help="multi-geometry design-space sweep "
+                      "(Pareto fronts of pWCET gain vs hardware cost)")
+    sweep.add_argument("--sizes", type=int, nargs="+",
+                       default=list(DEFAULT_SIZES),
+                       help="cache capacities in bytes")
+    sweep.add_argument("--ways", type=int, nargs="+",
+                       default=list(DEFAULT_WAYS),
+                       help="associativities")
+    sweep.add_argument("--lines", type=int, nargs="+",
+                       default=list(DEFAULT_LINES),
+                       help="line sizes in bytes")
+    sweep.add_argument("--pfails", type=float, nargs="+", default=None,
+                       help="cell failure probability axis (cells "
+                            "along it reuse every cached solve; "
+                            "default: the --pfail value)")
+    sweep.add_argument("--benchmarks", nargs="+", default=None,
+                       help="suite subset (default: all 25)")
+    sweep.add_argument("--output", default=None,
+                       help="write the report to a file")
+    _add_config_arguments(sweep)
+    sweep.set_defaults(handler=_command_sweep)
 
     listing = commands.add_parser("list", help="available benchmarks")
     listing.set_defaults(handler=_command_list)

@@ -38,6 +38,26 @@ def refined_srb_section(config: EstimatorConfig,
     return "\n".join(lines)
 
 
+def sweep_section(config: EstimatorConfig,
+                  benchmarks: tuple[str, ...] = EXTENSION_SUBSET) -> str:
+    """Design-space sweep summary: Pareto fronts over a compact grid.
+
+    The report keeps the grid to one line-size axis (8 geometries) and
+    the extension subset so ``repro report`` stays interactive; the
+    full 16-geometry grid over all 25 benchmarks is ``repro sweep``'s
+    job.  Warm solve-cache entries make reruns of either near-free.
+    """
+    from repro.sweep import format_pareto_fronts, geometry_grid, run_sweep
+
+    result = run_sweep(geometry_grid(lines=(16,)), benchmarks=benchmarks,
+                       config=config)
+    totals = result.solver_totals
+    reuse = (f"(solver: {totals.get('ilp_solved', 0):.0f} ILPs solved, "
+             f"{totals.get('store_hits', 0):.0f} from the persistent "
+             f"cache)")
+    return format_pareto_fronts(result) + "\n" + reuse
+
+
 def full_report(config: EstimatorConfig | None = None) -> str:
     """Every artefact, as one markdown document (runs the whole suite)."""
     if config is None:
@@ -65,5 +85,8 @@ def full_report(config: EstimatorConfig | None = None) -> str:
         "```",
         format_tradeoff(tradeoff_points(EXTENSION_SUBSET, config)),
         "```",
+        "",
+        "## Extension: multi-geometry design-space sweep",
+        "```", sweep_section(config), "```",
     ]
     return "\n".join(sections)

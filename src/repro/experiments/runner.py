@@ -12,6 +12,7 @@ cache.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 
 from repro.pwcet import EstimatorConfig, PWCETEstimate, PWCETEstimator
@@ -27,6 +28,11 @@ class BenchmarkResult:
     wcet_fault_free: int
     estimates: dict[str, PWCETEstimate]  # keyed by mechanism name
     target_probability: float
+    #: Planner counters of the run that produced this result (``None``
+    #: for results materialised before stats plumbing existed).  Lets
+    #: suite/sweep drivers prove properties like "the warm rerun
+    #: solved zero backend ILPs".
+    solver_stats: dict[str, float] | None = None
 
     def pwcet(self, mechanism: str) -> int:
         return self.estimates[mechanism].pwcet(self.target_probability)
@@ -60,7 +66,8 @@ def run_benchmark(name: str, config: EstimatorConfig | None = None, *,
             name=name,
             wcet_fault_free=estimator.fault_free_wcet(),
             estimates=estimator.estimate_all(),
-            target_probability=target_probability)
+            target_probability=target_probability,
+            solver_stats=estimator.solver_stats.as_dict())
     return _CACHE[key]
 
 
@@ -91,6 +98,50 @@ def run_suite(config: EstimatorConfig | None = None, *,
     return [run_benchmark(name, config,
                           target_probability=target_probability)
             for name in benchmarks]
+
+
+def reset_cache() -> None:
+    """Forget memoised results (fresh-invocation semantics for tests,
+    benchmarks and warm/cold comparisons)."""
+    _CACHE.clear()
+
+
+@contextmanager
+def fresh_results():
+    """Scope with an empty result memo; the outer memo is restored.
+
+    Inside the scope every ``run_benchmark`` computes (or reads the
+    persistent store) instead of reusing results memoised by earlier
+    drivers — so the scope's ``solver_stats`` describe exactly the
+    work it performed.  On exit the outer memo returns, updated with
+    the scope's results, so surrounding drivers keep their reuse.
+    """
+    saved = dict(_CACHE)
+    _CACHE.clear()
+    try:
+        yield
+    finally:
+        produced = dict(_CACHE)
+        _CACHE.clear()
+        _CACHE.update(saved)
+        _CACHE.update(produced)
+
+
+def solver_totals(results: list[BenchmarkResult]) -> dict[str, float]:
+    """Sum the planner counters over a list of results.
+
+    Rate-style entries (``*_rate``) do not sum and are recomputed from
+    the totals where meaningful.
+    """
+    totals: dict[str, float] = {}
+    for result in results:
+        for key, value in (result.solver_stats or {}).items():
+            if not key.endswith("_rate"):
+                totals[key] = totals.get(key, 0) + value
+    solves = totals.get("ilp_solved", 0) + totals.get("store_hits", 0)
+    totals["store_hit_rate"] = (
+        totals.get("store_hits", 0) / solves if solves else 0.0)
+    return totals
 
 
 def _run_benchmark_task(item: tuple[str, EstimatorConfig, float]

@@ -12,7 +12,11 @@ program and one hardware configuration:
 
 All intermediate artefacts are memoised: the estimator runs the cache
 analysis once per associativity and builds a single flow polytope that
-every ILP (WCET and all FMM entries) reuses.
+every ILP (WCET and all FMM entries) reuses.  Solved objectives also
+persist across runs through the content-addressed
+:class:`~repro.solve.store.SolveStore` (``REPRO_SOLVE_CACHE``,
+``EstimatorConfig(cache=...)``): a warm rerun of the same estimation
+performs zero backend ILP solves.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from repro.minic import CompiledProgram
 from repro.pwcet.distribution import DiscreteDistribution
 from repro.pwcet.exceedance import ExceedanceCurve
 from repro.reliability import ReliabilityMechanism, mechanism_by_name
+from repro.solve.store import SolveStore, store_context
 from repro.util import check_probability
 
 #: Exceedance probability used throughout the paper's evaluation
@@ -59,6 +64,12 @@ class EstimatorConfig:
     #: identical for any width, so it is excluded from equality (and
     #: hence from the experiment runner's memoisation key).
     workers: int = field(default=1, compare=False)
+    #: Persistent solve-cache selector: ``None`` defers to the
+    #: ``REPRO_SOLVE_CACHE`` environment variable, ``"off"`` disables
+    #: persistence, anything else is a store directory.  Execution
+    #: policy like ``workers``: cached values are bit-identical to
+    #: fresh solves, so the field is excluded from equality.
+    cache: str | None = field(default=None, compare=False)
 
     def fault_model(self) -> FaultProbabilityModel:
         return FaultProbabilityModel(geometry=self.geometry,
@@ -132,6 +143,14 @@ class PWCETEstimator:
         #: dedup against the same canonical-objective cache.
         self._planner = self._flow_model.planner
         self._planner.workers = config.workers
+        #: Cross-run persistence: already-solved objectives of this
+        #: (program, geometry, timing) context are answered from the
+        #: disk store instead of the ILP backend.
+        self._store = SolveStore.resolve(config.cache)
+        if self._store is not None:
+            self._planner.attach_store(
+                self._store,
+                store_context(cfg.digest(), config.geometry, config.timing))
         self._fault_model = config.fault_model()
         self._wcet_fault_free: int | None = None
         self._fmm_cache: dict[str, FaultMissMap] = {}
@@ -157,6 +176,11 @@ class PWCETEstimator:
     def solver_stats(self):
         """Planner counters (solved/pruned/deduped) for this estimator."""
         return self._planner.stats
+
+    @property
+    def store(self):
+        """The persistent solve store in use (``None`` when disabled)."""
+        return self._store
 
     # ------------------------------------------------------------------
     def fault_free_wcet(self) -> int:

@@ -20,10 +20,19 @@ solves from eager calls into *planned* work:
 
 ``planner``
     :class:`SolvePlanner` — dedupes requests by canonical key,
-    prunes FMM columns with monotonicity + an LP-relaxation
-    pre-screen, short-circuits empty objectives, batch-solves unique
+    prunes FMM columns with monotonicity + a solver-free structural
+    pre-screen (loop-bound products; the LP-relaxation screen remains
+    opt-in), short-circuits empty objectives, batch-solves unique
     requests across a ``concurrent.futures`` process pool, and keeps
     :class:`SolveStats` counters for benchmarking.
+
+``store``
+    :class:`SolveStore` — the disk-backed, content-addressed cache
+    that extends the dedup across runs: solved objectives are keyed by
+    (schema version, CFG digest, geometry, timing model, canonical
+    named objective, solver mode) and persisted as append-only,
+    checksummed JSONL shards (``REPRO_SOLVE_CACHE=off|<path>``), so a
+    warm rerun of a whole suite performs zero backend ILP solves.
 
 Lifecycle: callers build requests (cheap, no solver involved), hand
 them to a planner bound to the shared program, and read integer bounds
@@ -35,6 +44,8 @@ from repro.solve.backend import (ProgramSnapshot, SolverBackend,
                                  available_backends, make_backend)
 from repro.solve.planner import SolvePlanner, SolveStats
 from repro.solve.request import SolveRequest, canonical_objective
+from repro.solve.store import (SolveStore, default_cache_dir, solve_key,
+                               store_context)
 
 __all__ = [
     "ProgramSnapshot",
@@ -45,4 +56,8 @@ __all__ = [
     "SolveStats",
     "SolveRequest",
     "canonical_objective",
+    "SolveStore",
+    "default_cache_dir",
+    "solve_key",
+    "store_context",
 ]

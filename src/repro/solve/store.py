@@ -1,0 +1,286 @@
+"""Persistent, content-addressed solve cache shared across runs.
+
+The in-process :class:`~repro.solve.planner.SolvePlanner` dedups the
+ILP sweep of *one* estimator; this store extends the dedup across
+processes, CLI invocations, test sessions and CI runs.  Entries are
+keyed by a SHA-256 digest of everything that determines a solve's
+outcome:
+
+* the store schema version (bumped on any format or semantics change);
+* the CFG digest (blocks, instruction addresses, edges, loop bounds —
+  see :meth:`repro.cfg.graph.CFG.digest`);
+* the cache geometry and timing model of the estimation run;
+* the canonical objective, expressed over *variable names* (not
+  indices), so the key is independent of variable creation order;
+* the solver mode (exact ILP vs LP relaxation).
+
+Storage is a directory of append-only JSONL shard files, one shard per
+writer process, under a schema-versioned subdirectory.  Appends are
+single ``write`` calls of one line each, so concurrent writers — e.g.
+:meth:`SolvePlanner.prime` pool workers or parallel ``run_suite``
+benchmark tasks — never corrupt each other; at worst the same entry is
+recorded twice, which is harmless because values are deterministic.
+Every line carries a CRC-32 of its payload: truncated tails (a killed
+writer), garbage bytes and checksum mismatches are skipped on load and
+simply re-solved, never propagated.
+
+Control knob: ``REPRO_SOLVE_CACHE`` —
+
+* unset: the default user cache directory
+  (``$XDG_CACHE_HOME``/``~/.cache`` ``/repro/solve``);
+* ``off`` (or ``0``/``none``): persistent caching disabled;
+* any other value: used as the store directory.
+
+``EstimatorConfig(cache=...)`` / ``--cache`` override the environment
+per run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import uuid
+import zlib
+from dataclasses import dataclass, field
+
+#: Bump on ANY change to the entry format, the key derivation, or the
+#: meaning of stored values.  Old entries live under another ``v<N>``
+#: subdirectory and are never even loaded.
+SCHEMA_VERSION = 1
+
+#: Environment variable controlling the default store location.
+CACHE_ENV = "REPRO_SOLVE_CACHE"
+
+#: Values of :data:`CACHE_ENV` that disable persistence entirely.
+_OFF_VALUES = frozenset({"off", "0", "none", "disabled"})
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The XDG-style default store location."""
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = pathlib.Path(base) if base else pathlib.Path.home() / ".cache"
+    return root / "repro" / "solve"
+
+
+def solve_key(context: str, named_objective, relaxed: bool,
+              kind: str = "value") -> str:
+    """Content address of one solve.
+
+    ``named_objective`` is an iterable of ``(variable name, weight)``
+    pairs; it is canonicalised (sorted by name) here so callers may
+    pass any order.  ``kind`` separates integer optima (``"value"``)
+    from full solution vectors (``"solution"``).
+    """
+    payload = json.dumps(
+        [SCHEMA_VERSION, kind, context, sorted(named_objective),
+         bool(relaxed)],
+        separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def store_context(cfg_digest: str, geometry, timing) -> str:
+    """The per-estimator key prefix of the ISSUE/ROADMAP design.
+
+    Keys a solve by (CFG digest, geometry, timing model); the schema
+    version, canonical objective and solver mode are folded in by
+    :func:`solve_key`.
+    """
+    return json.dumps({
+        "cfg": cfg_digest,
+        "geometry": [geometry.sets, geometry.ways, geometry.block_bytes],
+        "timing": [timing.hit_cycles, timing.memory_cycles],
+    }, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class StoreStats:
+    """Load/serve counters of one store handle."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    #: Entries loaded from shards (after dedup across shards).
+    loaded: int = 0
+    #: Lines dropped on load: bad JSON, bad checksum, missing fields.
+    corrupt_skipped: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "loaded": self.loaded,
+                "corrupt_skipped": self.corrupt_skipped}
+
+
+def _checksum(kind: str, key: str, value_text: str) -> int:
+    return zlib.crc32(f"{kind}|{key}|{value_text}".encode("utf-8"))
+
+
+#: Handles memoised by :meth:`SolveStore.resolve`, keyed by absolute
+#: store directory.  Forked pool workers inherit the open shard file
+#: descriptors, which stays safe because appends are single O_APPEND
+#: writes of whole lines.
+_RESOLVED: dict[str, "SolveStore"] = {}
+
+
+class SolveStore:
+    """Disk-backed map of solve keys to optima / solution artefacts.
+
+    ``get``/``put`` handle integer optima (the FMM cells and primed
+    batches); ``get_artefact``/``put_artefact`` handle JSON documents
+    (the WCET's full solution vector).  All reads go through one lazy
+    in-memory index built by scanning every shard once per handle.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = pathlib.Path(root)
+        self._shard_dir = self.root / f"v{SCHEMA_VERSION}"
+        self._values: dict[str, int] | None = None
+        self._artefacts: dict[str, object] | None = None
+        self._shard = None  # lazily opened append handle
+        self.stats = StoreStats()
+
+    # -- resolution ----------------------------------------------------
+    @classmethod
+    def resolve(cls, override: str | None = None) -> "SolveStore | None":
+        """The store selected by ``override`` or the environment.
+
+        ``override`` follows the same convention as the environment
+        variable (``"off"`` disables, anything else is a directory);
+        ``None`` defers to ``REPRO_SOLVE_CACHE``, and an unset
+        environment selects the default user cache directory.
+
+        Handles are memoised per resolved directory: the hundreds of
+        estimators of a suite or sweep share one in-memory index (one
+        shard scan) and one append shard, instead of re-reading the
+        store and opening a fresh shard file each.
+        """
+        value = override if override is not None \
+            else os.environ.get(CACHE_ENV)
+        if value is None or not value.strip():
+            root = default_cache_dir()
+        elif value.strip().lower() in _OFF_VALUES:
+            return None
+        else:
+            root = pathlib.Path(value)
+        key = os.path.abspath(root)
+        store = _RESOLVED.get(key)
+        if store is None:
+            store = _RESOLVED[key] = cls(root)
+        return store
+
+    # -- loading -------------------------------------------------------
+    def _ensure_loaded(self) -> None:
+        if self._values is not None:
+            return
+        self._values = {}
+        self._artefacts = {}
+        if not self._shard_dir.is_dir():
+            return
+        for shard in sorted(self._shard_dir.glob("shard-*.jsonl")):
+            try:
+                text = shard.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                continue
+            for line in text.splitlines():
+                self._load_line(line)
+        self.stats.loaded = len(self._values) + len(self._artefacts)
+
+    def _load_line(self, line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        try:
+            entry = json.loads(line)
+            kind = entry["t"]
+            key = entry["k"]
+            value = entry["v"]
+            checksum = entry["c"]
+        except (ValueError, TypeError, KeyError):
+            self.stats.corrupt_skipped += 1
+            return
+        value_text = json.dumps(value, sort_keys=True,
+                                separators=(",", ":"))
+        if (not isinstance(key, str)
+                or checksum != _checksum(kind, key, value_text)):
+            self.stats.corrupt_skipped += 1
+            return
+        if kind == "solve" and isinstance(value, int):
+            self._values[key] = value
+        elif kind == "artefact":
+            self._artefacts[key] = value
+        else:
+            self.stats.corrupt_skipped += 1
+
+    # -- reads ---------------------------------------------------------
+    def get(self, key: str) -> int | None:
+        self._ensure_loaded()
+        value = self._values.get(key)
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return value
+
+    def get_artefact(self, key: str) -> object | None:
+        self._ensure_loaded()
+        value = self._artefacts.get(key)
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return value
+
+    # -- writes --------------------------------------------------------
+    def put(self, key: str, value: int) -> None:
+        self._ensure_loaded()
+        if self._values.get(key) == value:
+            return  # already persisted by this or another run
+        self._values[key] = value
+        self._append("solve", key, value)
+
+    def put_artefact(self, key: str, value: object) -> None:
+        self._ensure_loaded()
+        if key in self._artefacts:
+            return
+        self._artefacts[key] = value
+        self._append("artefact", key, value)
+
+    def _append(self, kind: str, key: str, value: object) -> None:
+        value_text = json.dumps(value, sort_keys=True,
+                                separators=(",", ":"))
+        line = json.dumps({
+            "t": kind, "k": key, "v": value,
+            "c": _checksum(kind, key, value_text),
+        }, sort_keys=True, separators=(",", ":")) + "\n"
+        try:
+            if self._shard is None:
+                self._shard_dir.mkdir(parents=True, exist_ok=True)
+                name = f"shard-{os.getpid()}-{uuid.uuid4().hex[:8]}.jsonl"
+                # O_APPEND + one os.write per line: concurrent writers
+                # interleave whole lines, never bytes.
+                self._shard = os.open(self._shard_dir / name,
+                                      os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                                      0o644)
+            os.write(self._shard, line.encode("utf-8"))
+            self.stats.writes += 1
+        except OSError:
+            # A read-only or full cache directory degrades to in-memory
+            # caching; never fail the estimation over persistence.
+            pass
+
+    # -- maintenance ---------------------------------------------------
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._values) + len(self._artefacts)
+
+    def close(self) -> None:
+        if self._shard is not None:
+            try:
+                os.close(self._shard)
+            except OSError:
+                pass
+            self._shard = None
+
+    def __del__(self):  # pragma: no cover - interpreter shutdown order
+        self.close()

@@ -1,0 +1,40 @@
+"""Multi-geometry sweep service: design-stage pWCET exploration.
+
+Fans the estimation pipeline out over a (cache geometry × pfail) grid
+and reports Pareto fronts of pWCET gain versus hardware cost, turning
+the single-configuration reproduction into the pre-silicon
+exploration tool of the ROADMAP (Lee et al.-style design-space
+search).  Exploits the persistent solve store: grid cells sharing ILP
+objectives (every pfail column of one geometry, and any rerun of the
+sweep) are answered from disk instead of the backend.
+
+* :mod:`repro.sweep.grid` — geometry/pfail grid construction;
+* :mod:`repro.sweep.service` — cell execution and Pareto extraction;
+* :mod:`repro.sweep.report` — text rendering for the CLI and the
+  benchmark artefacts.
+"""
+
+from repro.sweep.grid import (DEFAULT_LINES, DEFAULT_PFAILS, DEFAULT_SIZES,
+                              DEFAULT_WAYS, SweepCell, geometry_grid,
+                              sweep_cells)
+from repro.sweep.report import (format_pareto_fronts, format_sweep_report,
+                                format_sweep_table)
+from repro.sweep.service import (DesignPoint, SweepResult, pareto_front,
+                                 run_sweep)
+
+__all__ = [
+    "DEFAULT_LINES",
+    "DEFAULT_PFAILS",
+    "DEFAULT_SIZES",
+    "DEFAULT_WAYS",
+    "SweepCell",
+    "geometry_grid",
+    "sweep_cells",
+    "DesignPoint",
+    "SweepResult",
+    "pareto_front",
+    "run_sweep",
+    "format_pareto_fronts",
+    "format_sweep_report",
+    "format_sweep_table",
+]

@@ -1,0 +1,77 @@
+"""Rendering sweep results: the grid table and the Pareto fronts."""
+
+from __future__ import annotations
+
+from repro.sweep.service import DesignPoint, SweepResult, pareto_front
+
+#: Mechanisms that cost extra silicon; ``none`` is the per-cell
+#: reference (gain 0 by construction) and stays out of the fronts.
+FRONT_MECHANISMS = ("srb", "rw")
+
+
+def _point_row(point: DesignPoint) -> str:
+    geometry = point.geometry
+    return (f"{geometry.total_bytes:6d}B {geometry.sets:4d}x"
+            f"{geometry.ways}x{geometry.block_bytes:<3d} "
+            f"{point.pfail:8.0e} {point.mechanism:>5s} "
+            f"{point.mean_pwcet:12.0f} {point.mean_gain:7.1%} "
+            f"{point.area_cells:10.0f} {point.area_overhead:7.2%}")
+
+
+_HEADER = (f"{'size':>7s} {'SxWxB':>10s} {'pfail':>8s} {'mech':>5s} "
+           f"{'mean pWCET':>12s} {'gain':>7s} {'cells':>10s} "
+           f"{'area+':>7s}")
+
+
+def format_sweep_table(result: SweepResult) -> str:
+    """The full grid, one row per (cell, mechanism)."""
+    lines = [
+        f"Sweep over {len(result.cells())} cells x "
+        f"{len(result.benchmarks)} benchmarks "
+        f"(pWCET at {result.probability:.0e})",
+        _HEADER,
+        "-" * len(_HEADER),
+    ]
+    lines.extend(_point_row(point) for point in result.points)
+    return "\n".join(lines)
+
+
+def format_pareto_fronts(result: SweepResult) -> str:
+    """Pareto fronts of pWCET gain vs hardware cost.
+
+    One front per (mechanism, pfail): the geometry is the design
+    choice being traded off, while the cell failure rate is an
+    environment assumption — mixing pfails in one front would let a
+    pessimistic-environment point "dominate" an optimistic one.
+    """
+    pfails = sorted({point.pfail for point in result.points})
+    sections = []
+    for mechanism in FRONT_MECHANISMS:
+        for pfail in pfails:
+            candidates = tuple(point
+                               for point in result.of_mechanism(mechanism)
+                               if point.pfail == pfail)
+            front = pareto_front(candidates)
+            lines = [f"Pareto front — {mechanism} at pfail={pfail:g} "
+                     f"(gain vs cell budget, {len(front)} of "
+                     f"{len(candidates)} points)",
+                     _HEADER,
+                     "-" * len(_HEADER)]
+            lines.extend(_point_row(point) for point in front)
+            sections.append("\n".join(lines))
+    return "\n\n".join(sections)
+
+
+def format_sweep_report(result: SweepResult) -> str:
+    """Grid table + Pareto fronts + solver-reuse summary."""
+    totals = result.solver_totals
+    solver = (
+        f"solver: {totals.get('ilp_solved', 0):.0f} ILPs solved, "
+        f"{totals.get('store_hits', 0):.0f} served by the persistent "
+        f"cache (hit rate {totals.get('store_hit_rate', 0.0):.1%}), "
+        f"{totals.get('dedup_hits', 0):.0f} in-process dedup hits, "
+        f"{totals.get('pruned_empty', 0):.0f}+"
+        f"{totals.get('pruned_structural', 0):.0f} cells pruned "
+        f"(empty/structural)")
+    return "\n\n".join([format_sweep_table(result),
+                        format_pareto_fronts(result), solver])

@@ -1,0 +1,158 @@
+"""The multi-geometry sweep service (design-stage exploration).
+
+Runs the full estimation suite for every (geometry, pfail) grid cell,
+aggregates pWCET gain and hardware cost per reliability mechanism, and
+extracts the Pareto-optimal design points.  The heavy lifting reuses
+:func:`repro.experiments.runner.run_suite` (benchmark-level process
+fan-out) and the persistent solve store: grid cells that share ILP
+objectives — notably all cells along the pfail axis of one geometry —
+are answered from the cache instead of the backend.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, replace
+
+from repro.hwcost.model import MechanismCostModel
+from repro.pwcet import EstimatorConfig
+from repro.pwcet.estimator import TARGET_EXCEEDANCE
+from repro.reliability import MECHANISMS
+from repro.suite import EVALUATED_BENCHMARKS
+from repro.sweep.grid import (DEFAULT_PFAILS, SweepCell, geometry_grid,
+                              sweep_cells)
+
+#: Mechanisms compared by the sweep (paper's three configurations).
+SWEEP_MECHANISMS = tuple(mechanism.name for mechanism in MECHANISMS)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One (geometry, pfail, mechanism) point of the design space.
+
+    ``mean_gain`` is the paper's gain notion — pWCET reduction versus
+    the unprotected cache *of the same cell*, averaged over the
+    benchmark suite.  ``mean_pwcet`` is the absolute average pWCET in
+    cycles, comparable across geometries.  ``area_cells`` is the total
+    silicon budget of the configuration in 6T-cell equivalents
+    (baseline arrays plus the mechanism's hardening overhead).
+    """
+
+    cell: SweepCell
+    mechanism: str
+    mean_pwcet: float
+    mean_gain: float
+    area_cells: float
+    area_overhead: float
+    leakage_cells: float
+
+    @property
+    def geometry(self):
+        return self.cell.geometry
+
+    @property
+    def pfail(self) -> float:
+        return self.cell.pfail
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything one sweep produced."""
+
+    points: tuple[DesignPoint, ...]
+    benchmarks: tuple[str, ...]
+    probability: float
+    #: Planner counters summed over every estimation of the sweep.
+    solver_totals: dict[str, float]
+
+    def cells(self) -> tuple[SweepCell, ...]:
+        seen: dict[SweepCell, None] = {}
+        for point in self.points:
+            seen.setdefault(point.cell)
+        return tuple(seen)
+
+    def of_mechanism(self, mechanism: str) -> tuple[DesignPoint, ...]:
+        return tuple(point for point in self.points
+                     if point.mechanism == mechanism)
+
+
+def pareto_front(points: tuple[DesignPoint, ...]
+                 ) -> tuple[DesignPoint, ...]:
+    """Non-dominated points of (hardware cost down, pWCET gain up).
+
+    A point dominates another when it costs no more silicon and gains
+    at least as much pWCET, strictly better in one of the two.  The
+    front is returned cheapest-first.
+    """
+    front = []
+    for candidate in points:
+        dominated = False
+        for other in points:
+            if other is candidate:
+                continue
+            if (other.area_cells <= candidate.area_cells
+                    and other.mean_gain >= candidate.mean_gain
+                    and (other.area_cells < candidate.area_cells
+                         or other.mean_gain > candidate.mean_gain)):
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    front.sort(key=lambda point: (point.area_cells, -point.mean_gain))
+    return tuple(front)
+
+
+def run_sweep(geometries=None, *,
+              pfails: tuple[float, ...] = DEFAULT_PFAILS,
+              benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
+              config: EstimatorConfig | None = None,
+              workers: int | None = None,
+              probability: float = TARGET_EXCEEDANCE) -> SweepResult:
+    """Estimate the whole suite at every grid cell.
+
+    ``config`` carries the non-swept parameters (timing model, solver
+    mode, cache selector, default worker width); its geometry and
+    pfail are overridden per cell.
+
+    The sweep runs inside :func:`~repro.experiments.runner
+    .fresh_results`, so its solver totals describe exactly the work it
+    performed — results memoised by earlier drivers in the same
+    process carry *their* planner counters and would otherwise be
+    double-counted.  Cross-run reuse is the persistent store's job,
+    and that one is exact (store hits are counted by the estimator
+    that makes them).
+    """
+    from repro.experiments.runner import (fresh_results, run_suite,
+                                          solver_totals)
+
+    if geometries is None:
+        geometries = geometry_grid()
+    if config is None:
+        config = EstimatorConfig()
+    points: list[DesignPoint] = []
+    all_results = []
+    with fresh_results():
+        for cell in sweep_cells(tuple(geometries), tuple(pfails)):
+            cost_model = MechanismCostModel(cell.geometry)
+            cell_config = replace(config, geometry=cell.geometry,
+                                  pfail=cell.pfail)
+            results = run_suite(cell_config, benchmarks=benchmarks,
+                                workers=workers,
+                                target_probability=probability)
+            all_results.extend(results)
+            for mechanism in MECHANISMS:
+                cost = cost_model.cost_of(mechanism)
+                pwcets = [result.pwcet(mechanism.name)
+                          for result in results]
+                gains = [result.gain(mechanism.name) for result in results]
+                points.append(DesignPoint(
+                    cell=cell,
+                    mechanism=mechanism.name,
+                    mean_pwcet=statistics.mean(pwcets),
+                    mean_gain=statistics.mean(gains),
+                    area_cells=cost.total_cell_equivalents,
+                    area_overhead=cost.area_overhead_ratio,
+                    leakage_cells=cost.leakage_equivalents))
+    return SweepResult(points=tuple(points), benchmarks=tuple(benchmarks),
+                       probability=probability,
+                       solver_totals=solver_totals(all_results))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -10,6 +11,27 @@ from repro.cache import CacheGeometry
 from repro.ipet import TimingModel
 from repro.minic import (Call, Compute, Function, If, Loop, Program,
                          compile_program)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_solve_cache(tmp_path_factory):
+    """Point the persistent solve cache at a per-session directory.
+
+    Keeps the tier-1 suite hermetic: runs never read entries written
+    by earlier sessions (planner-stats assertions stay deterministic)
+    and never pollute the user's real cache, while the store codepath
+    itself remains exercised end to end.  Tests that need an explicit
+    store location still win via ``EstimatorConfig(cache=...)``.
+    """
+    from repro.solve.store import CACHE_ENV
+
+    saved = os.environ.get(CACHE_ENV)
+    os.environ[CACHE_ENV] = str(tmp_path_factory.mktemp("solvecache"))
+    yield
+    if saved is None:
+        os.environ.pop(CACHE_ENV, None)
+    else:
+        os.environ[CACHE_ENV] = saved
 
 
 @pytest.fixture(scope="session")

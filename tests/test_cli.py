@@ -61,3 +61,38 @@ class TestOtherCommands:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweep:
+    def test_small_grid(self, capsys, tmp_path):
+        assert main(["sweep", "--sizes", "512", "1024", "--ways", "2",
+                     "--lines", "16", "--benchmarks", "bs", "fibcall",
+                     "--cache", str(tmp_path / "store")]) == 0
+        output = capsys.readouterr().out
+        assert "Pareto front" in output
+        assert "srb" in output and "rw" in output
+
+    def test_output_file(self, capsys, tmp_path):
+        report = tmp_path / "sweep.txt"
+        assert main(["sweep", "--sizes", "512", "--ways", "2",
+                     "--lines", "16", "--benchmarks", "bs",
+                     "--cache", str(tmp_path / "store"),
+                     "--output", str(report)]) == 0
+        assert "written to" in capsys.readouterr().out
+        assert "Pareto front" in report.read_text()
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--benchmarks", "dhrystone"])
+
+    def test_pfail_flag_sets_the_axis(self, capsys, tmp_path):
+        assert main(["sweep", "--sizes", "512", "--ways", "2",
+                     "--lines", "16", "--benchmarks", "bs",
+                     "--pfail", "1e-3",
+                     "--cache", str(tmp_path / "store")]) == 0
+        output = capsys.readouterr().out
+        assert "1e-03" in output and "1e-04" not in output
+
+    def test_cache_off_accepted(self, capsys):
+        assert main(["estimate", "bs", "--cache", "off"]) == 0
+        capsys.readouterr()

@@ -127,6 +127,14 @@ def _bounded_program(upper: float = 5.0) -> LinearProgram:
     return program
 
 
+def _constraint_bounded_program(upper: float = 5.0) -> LinearProgram:
+    """x bounded only by a row — invisible to the structural screen."""
+    program = LinearProgram(name="unit-row")
+    program.add_variable("x")
+    program.add_le({0: 1.0}, upper)
+    return program
+
+
 class TestPlannerUnit:
     def test_dedup_solves_once(self):
         planner = SolvePlanner(_bounded_program())
@@ -143,21 +151,68 @@ class TestPlannerUnit:
         assert planner.stats.pruned_empty == 2
         assert planner.stats.ilp_solved == 0
 
-    def test_fmm_row_monotone_and_prescreen(self):
+    def test_fmm_row_monotone_and_structural_prescreen(self):
         # x integer in [0, 5]: column 1 maximises x (=5); column 2 has
-        # a *different* objective whose relaxed bound ceil(4.5) = 5
-        # cannot beat the previous value, so the ILP is pruned.
+        # a *different* objective whose structural bound
+        # floor(0.9 * 5) = 4 cannot beat the previous value, so the
+        # ILP is pruned without touching the solver at all.
         planner = SolvePlanner(_bounded_program())
         row = planner.fmm_row([
             SolveRequest.from_objective({0: 1.0}),
             SolveRequest.from_objective({0: 0.9}),
         ])
         assert row == (0, 5, 5)
+        assert planner.stats.pruned_structural == 1
+        assert planner.stats.ilp_solved == 1
+        assert planner.stats.lp_solved == 0  # structural screen is free
+
+    def test_structural_prescreen_sound_for_fractional_weights(self):
+        # Regression: the reported value of a fractional-weight ILP is
+        # round(optimum), which may exceed floor(bound) — the screen
+        # must not prune column 2 here (true row is (0, 4, 5)).
+        planned = SolvePlanner(_bounded_program())
+        direct = SolvePlanner(_bounded_program(), prescreen=False,
+                              dedup=False)
+        columns = [SolveRequest.from_objective({0: 0.8}),
+                   SolveRequest.from_objective({0: 0.92})]
+        assert planned.fmm_row(columns) == direct.fmm_row(columns)
+
+    def test_structural_bound_unbounded_or_negative_is_inf(self):
+        import math
+        planner = SolvePlanner(_constraint_bounded_program())
+        assert planner.structural_bound(
+            SolveRequest.from_objective({0: 1.0})) == math.inf
+        planner = SolvePlanner(_bounded_program())
+        assert planner.structural_bound(
+            SolveRequest.from_objective({0: -1.0})) == math.inf
+
+    def test_lp_prescreen_opt_in_fires_when_structural_cannot(self):
+        # The variable is only bounded by a constraint row, so the
+        # structural screen knows nothing (inf); the opt-in LP screen
+        # proves ceil(0.9 * 5) = 5 <= 5 and prunes the second ILP.
+        planner = SolvePlanner(_constraint_bounded_program(),
+                               lp_prescreen=True)
+        row = planner.fmm_row([
+            SolveRequest.from_objective({0: 1.0}),
+            SolveRequest.from_objective({0: 0.9}),
+        ])
+        assert row == (0, 5, 5)
+        assert planner.stats.pruned_structural == 0
         assert planner.stats.pruned_relaxation == 1
         assert planner.stats.ilp_solved == 1
 
-    def test_prescreen_budget_disables_after_misses(self):
-        planner = SolvePlanner(_bounded_program(upper=100.0))
+    def test_lp_prescreen_off_by_default(self):
+        planner = SolvePlanner(_constraint_bounded_program())
+        planner.fmm_row([
+            SolveRequest.from_objective({0: 1.0}),
+            SolveRequest.from_objective({0: 0.9}),
+        ])
+        assert planner.stats.lp_solved == 0
+        assert planner.stats.ilp_solved == 2
+
+    def test_lp_prescreen_budget_disables_after_misses(self):
+        planner = SolvePlanner(_constraint_bounded_program(upper=100.0),
+                               lp_prescreen=True)
         # Strictly increasing columns: every pre-screen misses.
         columns = [SolveRequest.from_objective({0: float(i)})
                    for i in range(1, SolvePlanner.PRESCREEN_MISS_BUDGET + 4)]
@@ -189,8 +244,9 @@ class TestPlannerUnit:
     def test_stats_dict_keys(self):
         stats = SolvePlanner(_bounded_program()).stats.as_dict()
         assert {"requests", "ilp_solved", "lp_solved", "dedup_hits",
-                "pruned_empty", "pruned_relaxation",
-                "dedup_hit_rate"} == set(stats)
+                "store_hits", "pruned_empty", "pruned_structural",
+                "pruned_relaxation", "dedup_hit_rate",
+                "store_hit_rate"} == set(stats)
 
 
 class TestBackends:

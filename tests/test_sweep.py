@@ -1,0 +1,125 @@
+"""The multi-geometry sweep service and its Pareto reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.pwcet import EstimatorConfig
+from repro.sweep import (DesignPoint, SweepCell, format_pareto_fronts,
+                         format_sweep_report, geometry_grid, pareto_front,
+                         run_sweep, sweep_cells)
+
+SUBSET = ("bs", "fibcall")
+
+
+class TestGrid:
+    def test_default_grid_covers_at_least_twelve_geometries(self):
+        grid = geometry_grid()
+        assert len(grid) >= 12
+        assert len(set(grid)) == len(grid)
+        assert CacheGeometry.from_size(1024, 4, 16) in grid  # the paper's
+
+    def test_infeasible_combinations_are_skipped(self):
+        grid = geometry_grid(sizes=(128,), ways=(2, 8), lines=(32,))
+        # 128 B in 8 ways of 32 B lines does not divide; 2 ways does.
+        assert grid == (CacheGeometry.from_size(128, 2, 32),)
+
+    def test_fully_infeasible_axes_raise(self):
+        with pytest.raises(ConfigurationError):
+            geometry_grid(sizes=(64,), ways=(8,), lines=(32,))
+
+    def test_cells_are_geometry_major(self):
+        geometries = geometry_grid(sizes=(512, 1024), ways=(2,),
+                                   lines=(16,))
+        cells = sweep_cells(geometries, pfails=(1e-4, 1e-3))
+        assert [cell.geometry.total_bytes for cell in cells] == \
+            [512, 512, 1024, 1024]
+        assert [cell.pfail for cell in cells] == [1e-4, 1e-3, 1e-4, 1e-3]
+
+
+def _point(mechanism="srb", gain=0.5, area=100.0, pfail=1e-4,
+           geometry=None) -> DesignPoint:
+    if geometry is None:
+        geometry = CacheGeometry.from_size(1024, 4, 16)
+    return DesignPoint(cell=SweepCell(geometry=geometry, pfail=pfail),
+                       mechanism=mechanism, mean_pwcet=1000.0,
+                       mean_gain=gain, area_cells=area,
+                       area_overhead=0.1, leakage_cells=area)
+
+
+class TestParetoFront:
+    def test_dominated_points_are_dropped(self):
+        cheap_good = _point(gain=0.6, area=100.0)
+        pricey_bad = _point(gain=0.5, area=200.0)
+        pricey_best = _point(gain=0.9, area=300.0)
+        front = pareto_front((pricey_bad, cheap_good, pricey_best))
+        assert front == (cheap_good, pricey_best)
+
+    def test_equal_points_both_survive(self):
+        twin_a, twin_b = _point(), _point()
+        assert len(pareto_front((twin_a, twin_b))) == 2
+
+    def test_front_is_sorted_cheapest_first(self):
+        points = (_point(gain=0.9, area=300.0), _point(gain=0.6, area=100.0))
+        front = pareto_front(points)
+        assert [point.area_cells for point in front] == [100.0, 300.0]
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        cache = str(tmp_path_factory.mktemp("sweepcache"))
+        geometries = geometry_grid(sizes=(512, 1024), ways=(2,),
+                                   lines=(16,))
+        return run_sweep(geometries, pfails=(1e-4, 1e-3),
+                         benchmarks=SUBSET,
+                         config=EstimatorConfig(cache=cache))
+
+    def test_every_cell_and_mechanism_reported(self, result):
+        assert len(result.cells()) == 4  # 2 geometries x 2 pfails
+        assert len(result.points) == 4 * 3  # x (none, srb, rw)
+
+    def test_gains_and_costs_are_sane(self, result):
+        for point in result.points:
+            assert 0.0 <= point.mean_gain <= 1.0
+            assert point.mean_pwcet > 0
+            assert point.area_cells > 0
+            if point.mechanism == "none":
+                assert point.mean_gain == 0.0
+                assert point.area_overhead == 0.0
+            else:
+                assert point.area_overhead > 0.0
+
+    def test_pfail_axis_reuses_cached_solves(self, result):
+        """Grid cells that share objectives hit the persistent store:
+        the pfail axis never touches the flow polytope, so half the
+        cells must be answered entirely from cache."""
+        totals = result.solver_totals
+        assert totals["store_hits"] >= totals["ilp_solved"]
+        assert totals["store_hit_rate"] >= 0.5
+
+    def test_report_contains_fronts_and_solver_summary(self, result):
+        text = format_sweep_report(result)
+        assert "Pareto front — srb at pfail=0.0001" in text
+        assert "Pareto front — rw at pfail=0.001" in text
+        assert "persistent cache" in text
+
+    def test_run_sweep_preserves_outer_memo(self, tmp_path):
+        """The sweep scopes the runner memo instead of clearing it."""
+        from repro.experiments.runner import run_benchmark
+
+        outer = run_benchmark("fibcall")
+        run_sweep(geometry_grid(sizes=(512,), ways=(2,), lines=(16,)),
+                  benchmarks=("bs",),
+                  config=EstimatorConfig(cache=str(tmp_path / "store")))
+        assert run_benchmark("fibcall") is outer
+
+    def test_fronts_never_mix_pfails(self, result):
+        text = format_pareto_fronts(result)
+        for section in text.split("\n\n"):
+            header = section.splitlines()[0]
+            pfail = "1e-04" if "0.0001" in header else "1e-03"
+            for line in section.splitlines()[3:]:
+                assert pfail in line
