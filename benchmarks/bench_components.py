@@ -31,7 +31,7 @@ def test_full_classification(benchmark):
     compiled = load("crc")
 
     def classify():
-        analysis = CacheAnalysis(compiled.cfg, GEOMETRY)
+        analysis = CacheAnalysis(compiled.cfg, GEOMETRY, cache="off")
         return [analysis.classification(assoc) for assoc in range(5)]
 
     tables = benchmark(classify)
@@ -41,7 +41,7 @@ def test_full_classification(benchmark):
 def test_ipet_wcet_solve(benchmark):
     """The fault-free IPET MILP for adpcm."""
     compiled = load("adpcm")
-    analysis = CacheAnalysis(compiled.cfg, GEOMETRY)
+    analysis = CacheAnalysis(compiled.cfg, GEOMETRY, cache="off")
     table = analysis.classification()
     timing = TimingModel()
     result = benchmark(

@@ -16,7 +16,7 @@ def test_fig1_fmm_computation(benchmark):
     """Time the FMM ILP batch for the example program."""
     compiled = example_program()
     geometry = CacheGeometry(sets=4, ways=2, block_bytes=16)
-    analysis = CacheAnalysis(compiled.cfg, geometry)
+    analysis = CacheAnalysis(compiled.cfg, geometry, cache="off")
 
     def compute():
         return compute_fault_miss_map(analysis, NoProtection())

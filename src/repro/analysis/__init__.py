@@ -21,7 +21,10 @@ from repro.analysis.references import Reference, block_references
 from repro.analysis.must import MustAnalysis
 from repro.analysis.may import MayAnalysis
 from repro.analysis.persistence import PersistenceAnalysis
-from repro.analysis.classify import CacheAnalysis, ClassificationTable
+from repro.analysis.classify import (AnalysisStats, CacheAnalysis,
+                                     ClassificationTable)
+from repro.analysis.store import ClassificationStore
+from repro.analysis.vectorized import AgeVectorEngine
 
 __all__ = [
     "Chmc",
@@ -32,6 +35,9 @@ __all__ = [
     "MustAnalysis",
     "MayAnalysis",
     "PersistenceAnalysis",
+    "AnalysisStats",
     "CacheAnalysis",
     "ClassificationTable",
+    "ClassificationStore",
+    "AgeVectorEngine",
 ]

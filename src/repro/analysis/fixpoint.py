@@ -15,7 +15,7 @@ abstract-interpretation soundness argument applies.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
 from collections.abc import Callable
 from typing import TypeVar
 
@@ -40,16 +40,21 @@ def solve(cfg: CFG, *, initial: State,
     """
     order = cfg.reverse_postorder()
     position = {block_id: rank for rank, block_id in enumerate(order)}
+    # Successor lists sorted once, up front — the worklist pops each
+    # block many times and must never pay the sort again.
+    successors = {block_id: sorted(cfg.successors(block_id),
+                                   key=position.__getitem__)
+                  for block_id in order}
     in_states: dict[int, State] = {}
     out_states: dict[int, State] = {}
-    visits: dict[int, int] = {}
+    visits: Counter[int] = Counter()
 
     worklist: deque[int] = deque(order)
     queued = set(order)
     while worklist:
         block_id = worklist.popleft()
         queued.discard(block_id)
-        visits[block_id] = visits.get(block_id, 0) + 1
+        visits[block_id] += 1
         if visits[block_id] > _MAX_VISITS_PER_BLOCK:
             raise AnalysisError(
                 f"fixpoint did not converge at block {block_id} "
@@ -62,8 +67,7 @@ def solve(cfg: CFG, *, initial: State,
         if old_out is not None and equal(old_out, new_out):
             continue
         out_states[block_id] = new_out
-        for successor in sorted(cfg.successors(block_id),
-                                key=position.__getitem__):
+        for successor in successors[block_id]:
             if successor not in queued:
                 worklist.append(successor)
                 queued.add(successor)

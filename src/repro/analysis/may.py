@@ -1,4 +1,9 @@
-"""May analysis: which fetches are guaranteed cache misses."""
+"""May analysis: which fetches are guaranteed cache misses.
+
+Dict-based *reference oracle*, like :mod:`repro.analysis.must`; the
+production path is the vectorised engine of
+:mod:`repro.analysis.vectorized`.
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,11 @@
-"""Must analysis: which fetches are guaranteed cache hits."""
+"""Must analysis: which fetches are guaranteed cache hits.
+
+This is the dict-based *reference oracle*: one fixpoint per requested
+associativity over per-set ``{block: age}`` states.  The production
+path is the vectorised engine (:mod:`repro.analysis.vectorized`),
+which answers every associativity from a single fixpoint; the two are
+asserted equivalent by ``tests/test_analysis_vectorized.py``.
+"""
 
 from __future__ import annotations
 

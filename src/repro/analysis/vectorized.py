@@ -1,0 +1,173 @@
+"""Vectorised abstract cache states: numpy age vectors per cache set.
+
+The dict-based Must/May analyses (:mod:`repro.analysis.must`,
+:mod:`repro.analysis.may` — kept as the reference oracle) represent a
+whole-cache state as ``set index -> {memory block: age}`` and run one
+fixpoint per associativity.  This engine replaces both with a single
+dense age vector over the program's resident blocks and a single
+fixpoint pair, exploiting three structural facts of LRU abstract
+interpretation:
+
+**Encoding.**  Lay the distinct ``(set, memory block)`` pairs of the
+program out set-major in one flat ``int8`` vector; entry ``i`` holds
+the abstract age of its block, with the sentinel ``W`` (the nominal
+associativity) meaning *absent*.  Under this encoding the Must and May
+transfer become the *same* array operation — access of block ``b`` in
+its set's segment ``seg``::
+
+    old = v[b]                  # absent blocks read as W
+    seg += (seg < old)          # blocks younger than the old bound age
+    v[b] = 0
+
+— and the joins become elementwise lattice operations over the whole
+vector: Must join (intersection, oldest age) is ``np.maximum`` because
+``max(age, W) = W`` drops blocks missing on either side; May join
+(union, youngest age) is ``np.minimum``.  Set independence is free:
+elementwise ops never mix segments.
+
+**One fixpoint for all associativities.**  Age truncation at ``a``
+(clip everything ``>= a`` to *absent*) commutes with that transfer and
+with both joins, so the least fixpoint at associativity ``a < W`` is
+exactly the fixpoint at ``W`` with ages thresholded at ``a``.  The
+engine therefore runs Must and May **once** at the nominal ``W`` and
+answers every degraded associativity ``W-1 .. 1`` by comparing the
+recorded access-time ages against ``a`` — no further fixpoints, where
+the dict oracle re-runs the full dataflow per associativity.
+
+**Shared worklist.**  The fixpoint itself is the generic
+:func:`repro.analysis.fixpoint.solve`, instantiated with array states;
+both engines traverse the CFG identically, which keeps the
+equivalence property testable one worklist implementation at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.fixpoint import solve
+from repro.analysis.references import Reference
+from repro.cache import CacheGeometry
+from repro.cfg import CFG
+
+
+class AgeVectorEngine:
+    """Must/May access ages of one (CFG, geometry), fully vectorised.
+
+    ``references`` is the per-block reference map produced by
+    :func:`repro.analysis.references.all_references`.  The engine is
+    lazy: each of the two fixpoints runs at most once, on first use,
+    and :attr:`fixpoints_run` counts how many actually ran (the
+    classification store answers warm runs without any).
+    """
+
+    def __init__(self, cfg: CFG, geometry: CacheGeometry,
+                 references: dict[int, tuple[Reference, ...]]) -> None:
+        self._cfg = cfg
+        self._ways = geometry.ways
+        self.fixpoints_run = 0
+
+        blocks_per_set: dict[int, set[int]] = {}
+        for refs in references.values():
+            for reference in refs:
+                blocks_per_set.setdefault(reference.set_index,
+                                          set()).add(reference.memory_block)
+        flat_index: dict[tuple[int, int], int] = {}
+        segments: dict[int, tuple[int, int]] = {}
+        offset = 0
+        for set_index in sorted(blocks_per_set):
+            resident = sorted(blocks_per_set[set_index])
+            segments[set_index] = (offset, offset + len(resident))
+            for memory_block in resident:
+                flat_index[(set_index, memory_block)] = offset
+                offset += 1
+        self._size = offset
+        # int8 unless the sentinel W itself would overflow it.
+        self._dtype = np.int8 if self._ways < 127 else np.int32
+        #: Per CFG block, the fetch sequence as (segment start, segment
+        #: stop, flat index, is_repeat) tuples.  ``is_repeat`` marks a
+        #: fetch whose set's previous fetch *within the same CFG block*
+        #: touched the same memory block: the block is then at age 0
+        #: whatever the incoming state, so the access is an identity
+        #: transfer and its recorded age is 0.  Sequential instruction
+        #: fetches share cache lines, so this drops most of the
+        #: per-access array work.
+        self._accesses: dict[int, tuple[tuple[int, int, int, bool], ...]] = {}
+        for block_id, refs in references.items():
+            ops = []
+            previous: dict[int, int] = {}  # set -> flat idx of last fetch
+            for reference in refs:
+                index = flat_index[(reference.set_index,
+                                    reference.memory_block)]
+                repeat = previous.get(reference.set_index) == index
+                previous[reference.set_index] = index
+                ops.append((*segments[reference.set_index], index, repeat))
+            self._accesses[block_id] = tuple(ops)
+        self._must_ages: dict[int, np.ndarray] | None = None
+        self._may_ages: dict[int, np.ndarray] | None = None
+
+    # -- the shared transfer ------------------------------------------
+    def _apply(self, state: np.ndarray, start: int, stop: int,
+               index: int) -> None:
+        """One access, in place: age younger blocks, load at age 0."""
+        old = state[index]
+        if old:  # at age 0 nothing is younger — nothing to age
+            segment = state[start:stop]
+            np.add(segment, segment < old, out=segment, casting="unsafe")
+            state[index] = 0
+
+    def _transfer(self, block_id: int, state: np.ndarray) -> np.ndarray:
+        state = state.copy()
+        for start, stop, index, repeat in self._accesses[block_id]:
+            if not repeat:
+                self._apply(state, start, stop, index)
+        return state
+
+    def _solve(self, join) -> dict[int, np.ndarray]:
+        self.fixpoints_run += 1
+        initial = np.full(self._size, self._ways, dtype=self._dtype)
+        return solve(self._cfg, initial=initial, join=join,
+                     transfer=self._transfer, equal=np.array_equal)
+
+    def _replay(self, in_states: dict[int, np.ndarray]
+                ) -> dict[int, np.ndarray]:
+        """Access-time age of every reference, from converged IN states."""
+        ages: dict[int, np.ndarray] = {}
+        for block_id, accesses in self._accesses.items():
+            state = in_states[block_id].copy()
+            block_ages = np.zeros(len(accesses), dtype=self._dtype)
+            for position, (start, stop, index, repeat) in enumerate(accesses):
+                if not repeat:  # repeats stay at the pre-filled age 0
+                    block_ages[position] = state[index]
+                    self._apply(state, start, stop, index)
+            ages[block_id] = block_ages
+        return ages
+
+    # -- results -------------------------------------------------------
+    def must_ages(self) -> dict[int, np.ndarray]:
+        """Upper-bound LRU age of each reference at its own fetch.
+
+        ``ages[block_id][i] < a`` iff reference ``i`` is a guaranteed
+        hit at associativity ``a`` — for *every* ``a`` in ``[1, W]``,
+        from the single nominal-associativity fixpoint.
+        """
+        if self._must_ages is None:
+            self._must_ages = self._replay(self._solve(np.maximum))
+        return self._must_ages
+
+    def may_ages(self) -> dict[int, np.ndarray]:
+        """Lower-bound LRU age of each reference at its own fetch.
+
+        ``ages[block_id][i] >= a`` iff reference ``i`` misses on every
+        path at associativity ``a`` (always-miss).
+        """
+        if self._may_ages is None:
+            self._may_ages = self._replay(self._solve(np.minimum))
+        return self._may_ages
+
+    def guaranteed_hits(self, block_id: int, assoc: int) -> np.ndarray:
+        """Vector of always-hit verdicts, any associativity, no fixpoint."""
+        return self.must_ages()[block_id] < assoc
+
+    def possibly_cached(self, block_id: int, assoc: int) -> np.ndarray:
+        """Vector of may-hit verdicts, any associativity, no fixpoint."""
+        return self.may_ages()[block_id] < assoc

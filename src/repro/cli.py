@@ -7,12 +7,19 @@ Commands
 ``curve``      exceedance series (Figure 3) for one benchmark.
 ``fmm``        print a benchmark's fault miss map (Figure 1.a style).
 ``tradeoff``   pWCET gain vs hardware cost (the §I trade-off).
-``sweep``      (geometry x pfail) design-space sweep, Pareto fronts.
+``sweep``      (geometry x pfail) design-space sweep, Pareto fronts;
+               ``--workers N`` fans whole grid cells over a process
+               pool and streams per-cell progress as cells complete.
+``cache gc``   fold the persistent stores' append-only shards into
+               one sorted, checksummed file each (``--dry-run`` for
+               a statistics report only).
 ``list``       list the available benchmarks with size metadata.
 
-All estimation commands consult the persistent solve cache
+All estimation commands consult the persistent caches — the solve
+store *and* the classification store share one directory
 (``REPRO_SOLVE_CACHE=off|<path>``, ``--cache``): a warm re-run of any
-command performs zero backend ILP solves.
+command performs zero backend ILP solves and zero
+abstract-interpretation fixpoints.
 """
 
 from __future__ import annotations
@@ -128,10 +135,26 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
     # value becomes a one-point axis instead of being ignored.
     pfails = (tuple(arguments.pfails) if arguments.pfails is not None
               else (arguments.pfail,))
+
+    def stream_cell(cell, points, completed, total):
+        # Streams to stderr as cells finish (completion order under
+        # --workers); stdout stays byte-identical to the sequential
+        # report, which is always assembled in grid order.
+        best = max((point for point in points if point.mechanism != "none"),
+                   key=lambda point: point.mean_gain, default=None)
+        summary = (f"best gain {best.mean_gain:.1%} ({best.mechanism})"
+                   if best is not None else "no protected mechanism")
+        print(f"[{completed:>3d}/{total}] {cell.label}: {summary}",
+              file=sys.stderr, flush=True)
+
+    # --workers fans *whole grid cells* (grouped by geometry) over a
+    # process pool; inside a cell the suite then runs single-worker.
     result = run_sweep(geometries,
                        pfails=pfails,
                        benchmarks=benchmarks,
                        config=_config_from(arguments),
+                       cell_workers=arguments.workers,
+                       on_cell=stream_cell,
                        probability=arguments.probability)
     text = format_sweep_report(result)
     if arguments.output:
@@ -140,6 +163,23 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         print(f"sweep report written to {arguments.output}")
     else:
         print(text)
+    return 0
+
+
+def _command_cache_gc(arguments: argparse.Namespace) -> int:
+    from repro.solve.gc import gc_cache
+    reports = gc_cache(arguments.cache, dry_run=arguments.dry_run)
+    if not reports:
+        print("cache gc: nothing to compact (no shards found, or the "
+              "cache is disabled)")
+        return 0
+    for report in reports:
+        print(report.format_row())
+    total_saved = sum(report.bytes_saved for report in reports)
+    verb = "would save" if arguments.dry_run else "saved"
+    noun = "directory" if len(reports) == 1 else "directories"
+    print(f"cache gc: {verb} {total_saved} bytes across "
+          f"{len(reports)} store {noun}")
     return 0
 
 
@@ -219,6 +259,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the report to a file")
     _add_config_arguments(sweep)
     sweep.set_defaults(handler=_command_sweep)
+
+    cache = commands.add_parser(
+        "cache", help="persistent store maintenance")
+    cache_commands = cache.add_subparsers(dest="cache_command",
+                                          required=True)
+    cache_gc = cache_commands.add_parser(
+        "gc", help="fold append-only solve/classification shards into "
+                   "one sorted, checksummed file each")
+    cache_gc.add_argument("--cache", default=None, metavar="off|PATH",
+                          help="cache directory to compact (default: "
+                               "REPRO_SOLVE_CACHE, else the user cache "
+                               "dir)")
+    cache_gc.add_argument("--dry-run", action="store_true",
+                          help="report what compaction would do without "
+                               "touching any shard")
+    cache_gc.set_defaults(handler=_command_cache_gc)
 
     listing = commands.add_parser("list", help="available benchmarks")
     listing.set_defaults(handler=_command_list)

@@ -28,10 +28,10 @@ class BenchmarkResult:
     wcet_fault_free: int
     estimates: dict[str, PWCETEstimate]  # keyed by mechanism name
     target_probability: float
-    #: Planner counters of the run that produced this result (``None``
-    #: for results materialised before stats plumbing existed).  Lets
-    #: suite/sweep drivers prove properties like "the warm rerun
-    #: solved zero backend ILPs".
+    #: Planner + cache-analysis counters of the run that produced this
+    #: result (``None`` for results materialised before stats plumbing
+    #: existed).  Lets suite/sweep drivers prove properties like "the
+    #: warm rerun solved zero backend ILPs and ran zero fixpoints".
     solver_stats: dict[str, float] | None = None
 
     def pwcet(self, mechanism: str) -> int:
@@ -67,7 +67,7 @@ def run_benchmark(name: str, config: EstimatorConfig | None = None, *,
             wcet_fault_free=estimator.fault_free_wcet(),
             estimates=estimator.estimate_all(),
             target_probability=target_probability,
-            solver_stats=estimator.solver_stats.as_dict())
+            solver_stats=estimator.stats_summary())
     return _CACHE[key]
 
 

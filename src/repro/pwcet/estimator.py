@@ -137,7 +137,11 @@ class PWCETEstimator:
         self._cfg = cfg
         self._config = config
         self._name = name if name is not None else cfg.name
-        self._analysis = CacheAnalysis(cfg, config.geometry)
+        #: The cache selector is shared with the solve store: one knob
+        #: (``cache=`` / ``REPRO_SOLVE_CACHE``) controls both the
+        #: classification store and the ILP store.
+        self._analysis = CacheAnalysis(cfg, config.geometry,
+                                       cache=config.cache)
         self._flow_model = FlowModel(cfg, self._analysis.forest)
         #: One planner per estimator: WCET and every mechanism's FMM
         #: dedup against the same canonical-objective cache.
@@ -176,6 +180,21 @@ class PWCETEstimator:
     def solver_stats(self):
         """Planner counters (solved/pruned/deduped) for this estimator."""
         return self._planner.stats
+
+    @property
+    def analysis_stats(self):
+        """Cache-analysis counters (fixpoints run, store traffic)."""
+        return self._analysis.stats
+
+    def stats_summary(self) -> dict[str, float]:
+        """Solver and analysis counters merged into one flat dict.
+
+        This is what suite/sweep drivers aggregate: together the two
+        families prove the warm-run property end to end (zero backend
+        ILPs *and* zero abstract-interpretation fixpoints).
+        """
+        return {**self._planner.stats.as_dict(),
+                **self._analysis.stats.as_dict()}
 
     @property
     def store(self):

@@ -140,9 +140,10 @@ class SharedReliableBuffer(ReliabilityMechanism):
 
     def all_faulty_filter(self, analysis: "CacheAnalysis"
                           ) -> AllFaultyFilter:
-        from repro.reliability.srb_analysis import srb_always_hit_references
-        protected = srb_always_hit_references(analysis.cfg,
-                                              analysis.geometry)
+        # The analysis facade memoises and persists the SRB hit set
+        # (same engine selection and classification store as the CHMC
+        # tables), so warm SRB estimations run zero fixpoints.
+        protected = analysis.srb_always_hits()
 
         def classify(reference: "Reference") -> Classification:
             if reference.key in protected:

@@ -34,6 +34,11 @@ solves from eager calls into *planned* work:
     checksummed JSONL shards (``REPRO_SOLVE_CACHE=off|<path>``), so a
     warm rerun of a whole suite performs zero backend ILP solves.
 
+``gc``
+    Offline shard compaction (``repro cache gc``): folds the
+    append-only shards of both persistent stores (solve +
+    classification) into one sorted, checksummed file each.
+
 Lifecycle: callers build requests (cheap, no solver involved), hand
 them to a planner bound to the shared program, and read integer bounds
 back; identical objectives — within one mechanism's symmetric sets or
@@ -42,12 +47,15 @@ across mechanisms sharing degraded classifications — are solved once.
 
 from repro.solve.backend import (ProgramSnapshot, SolverBackend,
                                  available_backends, make_backend)
+from repro.solve.gc import CompactionReport, gc_cache
 from repro.solve.planner import SolvePlanner, SolveStats
 from repro.solve.request import SolveRequest, canonical_objective
 from repro.solve.store import (SolveStore, default_cache_dir, solve_key,
                                store_context)
 
 __all__ = [
+    "CompactionReport",
+    "gc_cache",
     "ProgramSnapshot",
     "SolverBackend",
     "available_backends",

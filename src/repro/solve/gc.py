@@ -1,0 +1,142 @@
+"""Offline compaction of the persistent store shards (``repro cache gc``).
+
+Both persistent stores — the solve store (``v<N>/``) and the
+classification store (``classify-v<N>/``) — are append-only: every
+writer process opens its own JSONL shard and entries are never
+rewritten, so a long-lived cache directory accumulates shards and
+duplicate lines (two concurrent cold runs may both append the same
+deterministic entry).  This module folds each schema directory's
+shards into **one** sorted, checksummed shard:
+
+* every line is validated exactly like the stores do on load (JSON
+  shape + CRC-32) — corrupt or truncated lines are dropped for good;
+* duplicates collapse to the *last* occurrence, matching the stores'
+  load semantics (later lines overwrite earlier ones);
+* surviving entries are rewritten sorted by (kind, key) into
+  ``shard-00000000-gc.jsonl`` — the name sorts first in the stores'
+  shard glob — via a temporary file and an atomic rename, after which
+  the old shards are unlinked.
+
+Compaction is *offline* maintenance: run it while no writer is
+appending (a writer racing the unlink loses only re-derivable,
+deterministic entries, never correctness, but its work is wasted).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from dataclasses import dataclass
+
+from repro.solve.store import (SolveStore, encode_shard_line,
+                               parse_shard_line)
+
+#: The compacted shard; sorts before ``shard-<pid>-…`` writer shards.
+GC_SHARD_NAME = "shard-00000000-gc.jsonl"
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What compaction did (or would do) to one schema directory."""
+
+    directory: str
+    shards_before: int
+    lines_before: int
+    bytes_before: int
+    entries: int
+    duplicates_dropped: int
+    corrupt_dropped: int
+    bytes_after: int
+    dry_run: bool
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.bytes_before - self.bytes_after
+
+    def format_row(self) -> str:
+        action = "would fold" if self.dry_run else "folded"
+        return (f"{self.directory}: {action} {self.shards_before} shard(s), "
+                f"{self.lines_before} line(s) -> {self.entries} entr(ies); "
+                f"dropped {self.duplicates_dropped} duplicate(s), "
+                f"{self.corrupt_dropped} corrupt; "
+                f"{self.bytes_before} -> {self.bytes_after} bytes "
+                f"({self.bytes_saved:+d} saved)")
+
+
+def compact_shard_dir(shard_dir: str | os.PathLike, *,
+                      dry_run: bool = False) -> CompactionReport | None:
+    """Fold one schema directory's shards; ``None`` if none exist."""
+    shard_dir = pathlib.Path(shard_dir)
+    shards = sorted(shard_dir.glob("shard-*.jsonl"))
+    if not shards:
+        return None
+    entries: dict[tuple[str, str], object] = {}
+    lines_before = bytes_before = corrupt = duplicates = 0
+    for shard in shards:
+        try:
+            text = shard.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            continue
+        bytes_before += len(text.encode("utf-8"))
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            lines_before += 1
+            parsed = parse_shard_line(line)
+            if parsed is None:
+                corrupt += 1
+                continue
+            kind, key, value = parsed
+            if (kind, key) in entries:
+                duplicates += 1
+            entries[(kind, key)] = value  # last occurrence wins, as on load
+
+    compacted = "".join(encode_shard_line(kind, key, entries[(kind, key)])
+                        for kind, key in sorted(entries))
+    bytes_after = len(compacted.encode("utf-8"))
+
+    if not dry_run:
+        tmp = shard_dir / f".gc-tmp-{os.getpid()}"
+        tmp.write_text(compacted, encoding="utf-8")
+        os.replace(tmp, shard_dir / GC_SHARD_NAME)
+        for shard in shards:
+            if shard.name != GC_SHARD_NAME:
+                try:
+                    shard.unlink()
+                except OSError:
+                    pass
+    return CompactionReport(
+        directory=str(shard_dir), shards_before=len(shards),
+        lines_before=lines_before, bytes_before=bytes_before,
+        entries=len(entries), duplicates_dropped=duplicates,
+        corrupt_dropped=corrupt, bytes_after=bytes_after, dry_run=dry_run)
+
+
+def collect_shard_dirs(root: str | os.PathLike) -> list[pathlib.Path]:
+    """Every schema directory under one cache root, both stores."""
+    root = pathlib.Path(root)
+    if not root.is_dir():
+        return []
+    return sorted(path for path in root.iterdir()
+                  if path.is_dir()
+                  and (path.name.startswith("v")
+                       or path.name.startswith("classify-v")))
+
+
+def gc_cache(cache: str | None = None, *,
+             dry_run: bool = False) -> list[CompactionReport]:
+    """Compact the cache directory selected like the stores select it.
+
+    ``cache`` follows the ``REPRO_SOLVE_CACHE`` convention (``None``
+    defers to the environment / default directory; ``"off"`` means
+    there is nothing to compact).
+    """
+    store = SolveStore.resolve(cache)
+    if store is None:
+        return []
+    reports = []
+    for shard_dir in collect_shard_dirs(store.root):
+        report = compact_shard_dir(shard_dir, dry_run=dry_run)
+        if report is not None:
+            reports.append(report)
+    return reports

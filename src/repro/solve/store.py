@@ -116,6 +116,40 @@ def _checksum(kind: str, key: str, value_text: str) -> int:
     return zlib.crc32(f"{kind}|{key}|{value_text}".encode("utf-8"))
 
 
+def encode_shard_line(kind: str, key: str, value: object) -> str:
+    """One checksummed shard line (shared by both stores and gc)."""
+    value_text = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return json.dumps({
+        "t": kind, "k": key, "v": value,
+        "c": _checksum(kind, key, value_text),
+    }, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def parse_shard_line(line: str) -> tuple[str, str, object] | None:
+    """Validate one shard line; ``None`` when unreadable.
+
+    The single definition of what counts as a valid line — JSON shape
+    plus CRC-32 over (kind, key, canonical value) — used by the solve
+    store, the classification store and ``repro cache gc``, so the
+    three readers can never drift apart in what they accept.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        entry = json.loads(line)
+        kind, key, value, checksum = (entry["t"], entry["k"], entry["v"],
+                                      entry["c"])
+    except (ValueError, TypeError, KeyError):
+        return None
+    if not isinstance(kind, str) or not isinstance(key, str):
+        return None
+    value_text = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    if checksum != _checksum(kind, key, value_text):
+        return None
+    return kind, key, value
+
+
 #: Handles memoised by :meth:`SolveStore.resolve`, keyed by absolute
 #: store directory.  Forked pool workers inherit the open shard file
 #: descriptors, which stays safe because appends are single O_APPEND
@@ -123,7 +157,82 @@ def _checksum(kind: str, key: str, value_text: str) -> int:
 _RESOLVED: dict[str, "SolveStore"] = {}
 
 
-class SolveStore:
+class ShardedStore:
+    """Shared shard lifecycle of the persistent stores.
+
+    One schema-versioned directory of append-only JSONL shards, one
+    shard per writer process, every line checksummed
+    (:func:`encode_shard_line` / :func:`parse_shard_line`).  Appends
+    are single ``O_APPEND`` writes of whole lines, so concurrent
+    writers interleave safely; an unwritable directory degrades to
+    in-memory memoisation.  Subclasses supply the in-memory index via
+    :meth:`_reset_index` / :meth:`_index_entry`.
+    """
+
+    def __init__(self, root: str | os.PathLike, subdir: str) -> None:
+        self.root = pathlib.Path(root)
+        self._shard_dir = self.root / subdir
+        self._shard = None  # lazily opened append handle
+        self._loaded = False
+
+    # -- index hooks (subclass responsibility) -------------------------
+    def _reset_index(self) -> None:
+        raise NotImplementedError
+
+    def _index_entry(self, parsed: tuple[str, str, object] | None) -> None:
+        """One validated line (``None`` = corrupt/unreadable)."""
+        raise NotImplementedError
+
+    # -- lifecycle -----------------------------------------------------
+    def _ensure_loaded(self) -> bool:
+        """Scan every shard once per handle; True on the first call."""
+        if self._loaded:
+            return False
+        self._loaded = True
+        self._reset_index()
+        if not self._shard_dir.is_dir():
+            return True
+        for shard in sorted(self._shard_dir.glob("shard-*.jsonl")):
+            try:
+                text = shard.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                continue
+            for line in text.splitlines():
+                if line.strip():
+                    self._index_entry(parse_shard_line(line))
+        return True
+
+    def _append(self, kind: str, key: str, value: object) -> bool:
+        line = encode_shard_line(kind, key, value)
+        try:
+            if self._shard is None:
+                self._shard_dir.mkdir(parents=True, exist_ok=True)
+                name = f"shard-{os.getpid()}-{uuid.uuid4().hex[:8]}.jsonl"
+                # O_APPEND + one os.write per line: concurrent writers
+                # interleave whole lines, never bytes.
+                self._shard = os.open(self._shard_dir / name,
+                                      os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                                      0o644)
+            os.write(self._shard, line.encode("utf-8"))
+            return True
+        except OSError:
+            # A read-only or full cache directory degrades to in-memory
+            # caching; never fail the estimation over persistence.
+            return False
+
+    def close(self) -> None:
+        if self._shard is not None:
+            try:
+                os.close(self._shard)
+            except OSError:
+                pass
+            self._shard = None
+
+    def __del__(self):  # pragma: no cover - interpreter shutdown order
+        self.close()
+
+
+class SolveStore(ShardedStore):
     """Disk-backed map of solve keys to optima / solution artefacts.
 
     ``get``/``put`` handle integer optima (the FMM cells and primed
@@ -133,11 +242,9 @@ class SolveStore:
     """
 
     def __init__(self, root: str | os.PathLike) -> None:
-        self.root = pathlib.Path(root)
-        self._shard_dir = self.root / f"v{SCHEMA_VERSION}"
-        self._values: dict[str, int] | None = None
-        self._artefacts: dict[str, object] | None = None
-        self._shard = None  # lazily opened append handle
+        super().__init__(root, f"v{SCHEMA_VERSION}")
+        self._values: dict[str, int] = {}
+        self._artefacts: dict[str, object] = {}
         self.stats = StoreStats()
 
     # -- resolution ----------------------------------------------------
@@ -170,41 +277,21 @@ class SolveStore:
         return store
 
     # -- loading -------------------------------------------------------
-    def _ensure_loaded(self) -> None:
-        if self._values is not None:
-            return
+    def _ensure_loaded(self) -> bool:
+        if super()._ensure_loaded():
+            self.stats.loaded = len(self._values) + len(self._artefacts)
+            return True
+        return False
+
+    def _reset_index(self) -> None:
         self._values = {}
         self._artefacts = {}
-        if not self._shard_dir.is_dir():
-            return
-        for shard in sorted(self._shard_dir.glob("shard-*.jsonl")):
-            try:
-                text = shard.read_text(encoding="utf-8", errors="replace")
-            except OSError:
-                continue
-            for line in text.splitlines():
-                self._load_line(line)
-        self.stats.loaded = len(self._values) + len(self._artefacts)
 
-    def _load_line(self, line: str) -> None:
-        line = line.strip()
-        if not line:
-            return
-        try:
-            entry = json.loads(line)
-            kind = entry["t"]
-            key = entry["k"]
-            value = entry["v"]
-            checksum = entry["c"]
-        except (ValueError, TypeError, KeyError):
+    def _index_entry(self, parsed: tuple[str, str, object] | None) -> None:
+        if parsed is None:
             self.stats.corrupt_skipped += 1
             return
-        value_text = json.dumps(value, sort_keys=True,
-                                separators=(",", ":"))
-        if (not isinstance(key, str)
-                or checksum != _checksum(kind, key, value_text)):
-            self.stats.corrupt_skipped += 1
-            return
+        kind, key, value = parsed
         if kind == "solve" and isinstance(value, int):
             self._values[key] = value
         elif kind == "artefact":
@@ -237,50 +324,18 @@ class SolveStore:
         if self._values.get(key) == value:
             return  # already persisted by this or another run
         self._values[key] = value
-        self._append("solve", key, value)
+        if self._append("solve", key, value):
+            self.stats.writes += 1
 
     def put_artefact(self, key: str, value: object) -> None:
         self._ensure_loaded()
         if key in self._artefacts:
             return
         self._artefacts[key] = value
-        self._append("artefact", key, value)
-
-    def _append(self, kind: str, key: str, value: object) -> None:
-        value_text = json.dumps(value, sort_keys=True,
-                                separators=(",", ":"))
-        line = json.dumps({
-            "t": kind, "k": key, "v": value,
-            "c": _checksum(kind, key, value_text),
-        }, sort_keys=True, separators=(",", ":")) + "\n"
-        try:
-            if self._shard is None:
-                self._shard_dir.mkdir(parents=True, exist_ok=True)
-                name = f"shard-{os.getpid()}-{uuid.uuid4().hex[:8]}.jsonl"
-                # O_APPEND + one os.write per line: concurrent writers
-                # interleave whole lines, never bytes.
-                self._shard = os.open(self._shard_dir / name,
-                                      os.O_WRONLY | os.O_CREAT | os.O_APPEND,
-                                      0o644)
-            os.write(self._shard, line.encode("utf-8"))
+        if self._append("artefact", key, value):
             self.stats.writes += 1
-        except OSError:
-            # A read-only or full cache directory degrades to in-memory
-            # caching; never fail the estimation over persistence.
-            pass
 
     # -- maintenance ---------------------------------------------------
     def __len__(self) -> int:
         self._ensure_loaded()
         return len(self._values) + len(self._artefacts)
-
-    def close(self) -> None:
-        if self._shard is not None:
-            try:
-                os.close(self._shard)
-            except OSError:
-                pass
-            self._shard = None
-
-    def __del__(self):  # pragma: no cover - interpreter shutdown order
-        self.close()

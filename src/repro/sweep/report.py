@@ -63,7 +63,7 @@ def format_pareto_fronts(result: SweepResult) -> str:
 
 
 def format_sweep_report(result: SweepResult) -> str:
-    """Grid table + Pareto fronts + solver-reuse summary."""
+    """Grid table + Pareto fronts + solver/analysis-reuse summary."""
     totals = result.solver_totals
     solver = (
         f"solver: {totals.get('ilp_solved', 0):.0f} ILPs solved, "
@@ -73,5 +73,10 @@ def format_sweep_report(result: SweepResult) -> str:
         f"{totals.get('pruned_empty', 0):.0f}+"
         f"{totals.get('pruned_structural', 0):.0f} cells pruned "
         f"(empty/structural)")
+    analysis = (
+        f"analysis: {totals.get('fixpoints_run', 0):.0f} fixpoints run, "
+        f"{totals.get('classify_store_hits', 0):.0f} classification "
+        f"tables served by the persistent cache")
     return "\n\n".join([format_sweep_table(result),
-                        format_pareto_fronts(result), solver])
+                        format_pareto_fronts(result),
+                        solver + "\n" + analysis])

@@ -3,15 +3,27 @@
 Runs the full estimation suite for every (geometry, pfail) grid cell,
 aggregates pWCET gain and hardware cost per reliability mechanism, and
 extracts the Pareto-optimal design points.  The heavy lifting reuses
-:func:`repro.experiments.runner.run_suite` (benchmark-level process
-fan-out) and the persistent solve store: grid cells that share ILP
-objectives — notably all cells along the pfail axis of one geometry —
-are answered from the cache instead of the backend.
+:func:`repro.experiments.runner.run_suite` and the two persistent
+stores (solve + classification): grid cells that share work — notably
+all cells along the pfail axis of one geometry, which share every ILP
+objective *and* every classification table — are answered from the
+caches instead of recomputed.
+
+Whole grid cells can also fan out over a process pool
+(``run_sweep(cell_workers=N)`` / ``repro sweep --workers N``).  Cells
+are grouped by geometry so the pfail-axis reuse stays in-process, the
+two disk stores dedup across workers, and completed cells *stream*
+back through the ``on_cell`` callback as they finish — the CLI renders
+incremental progress while the final report stays byte-identical to
+the sequential path (results are assembled in deterministic grid
+order, and each worker computes exactly what the sequential loop
+would).
 """
 
 from __future__ import annotations
 
 import statistics
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
 
 from repro.hwcost.model import MechanismCostModel
@@ -102,23 +114,77 @@ def pareto_front(points: tuple[DesignPoint, ...]
     return tuple(front)
 
 
+def _cell_points(cell: SweepCell, results) -> tuple[DesignPoint, ...]:
+    """The per-mechanism design points of one completed grid cell."""
+    cost_model = MechanismCostModel(cell.geometry)
+    points = []
+    for mechanism in MECHANISMS:
+        cost = cost_model.cost_of(mechanism)
+        pwcets = [result.pwcet(mechanism.name) for result in results]
+        gains = [result.gain(mechanism.name) for result in results]
+        points.append(DesignPoint(
+            cell=cell,
+            mechanism=mechanism.name,
+            mean_pwcet=statistics.mean(pwcets),
+            mean_gain=statistics.mean(gains),
+            area_cells=cost.total_cell_equivalents,
+            area_overhead=cost.area_overhead_ratio,
+            leakage_cells=cost.leakage_equivalents))
+    return tuple(points)
+
+
+def _run_cell_group(item):
+    """Pool entry point: every pfail cell of one geometry, in order.
+
+    Grouping by geometry keeps the pfail-axis reuse (shared ILP
+    objectives and classification tables) inside one process: the
+    first cell populates the stores, the remaining columns read them
+    back from the shared in-memory handles.  ``inner_workers`` is the
+    leftover pool width the cell fan-out did not consume (fewer
+    geometry groups than ``cell_workers``); > 1 fans benchmarks of
+    each cell out a second level, so no requested worker idles.
+    """
+    geometry, pfails, benchmarks, config, probability, inner_workers = item
+    from repro.experiments.runner import fresh_results, run_suite
+
+    cells = []
+    with fresh_results():
+        for pfail in pfails:
+            cell_config = replace(config, geometry=geometry, pfail=pfail,
+                                  workers=1)
+            results = run_suite(cell_config, benchmarks=benchmarks,
+                                workers=inner_workers,
+                                target_probability=probability)
+            cells.append((SweepCell(geometry=geometry, pfail=pfail),
+                          results))
+    return cells
+
+
 def run_sweep(geometries=None, *,
               pfails: tuple[float, ...] = DEFAULT_PFAILS,
               benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
               config: EstimatorConfig | None = None,
               workers: int | None = None,
+              cell_workers: int = 1,
+              on_cell=None,
               probability: float = TARGET_EXCEEDANCE) -> SweepResult:
     """Estimate the whole suite at every grid cell.
 
     ``config`` carries the non-swept parameters (timing model, solver
     mode, cache selector, default worker width); its geometry and
-    pfail are overridden per cell.
+    pfail are overridden per cell.  ``workers`` fans *benchmarks* of
+    one cell over a pool (sequential cell order); ``cell_workers > 1``
+    fans whole geometry groups of cells out instead, with the
+    persistent stores as the cross-process dedup.  ``on_cell`` is
+    invoked as ``on_cell(cell, points, completed, total)`` for every
+    finished cell — in grid order sequentially, in completion order
+    under ``cell_workers`` — so callers can stream the report.
 
     The sweep runs inside :func:`~repro.experiments.runner
     .fresh_results`, so its solver totals describe exactly the work it
     performed — results memoised by earlier drivers in the same
     process carry *their* planner counters and would otherwise be
-    double-counted.  Cross-run reuse is the persistent store's job,
+    double-counted.  Cross-run reuse is the persistent stores' job,
     and that one is exact (store hits are counted by the estimator
     that makes them).
     """
@@ -129,30 +195,57 @@ def run_sweep(geometries=None, *,
         geometries = geometry_grid()
     if config is None:
         config = EstimatorConfig()
+    geometries = tuple(geometries)
+    pfails = tuple(pfails)
+    cells = sweep_cells(geometries, pfails)
+    points_by_cell: dict[SweepCell, tuple[DesignPoint, ...]] = {}
+    results_by_cell: dict[SweepCell, list] = {}
+    completed = 0
+
+    def finish(cell, results):
+        nonlocal completed
+        completed += 1
+        points_by_cell[cell] = _cell_points(cell, results)
+        results_by_cell[cell] = results
+        if on_cell is not None:
+            on_cell(cell, points_by_cell[cell], completed, len(cells))
+
+    if cell_workers > 1 and len(geometries) > 1:
+        # Width not consumed by the cell fan-out goes to benchmark
+        # fan-out inside each group (bit-identical either way); an
+        # explicit `workers` request keeps at least that inner width.
+        inner_workers = max(workers or 1, cell_workers // len(geometries))
+        items = [(geometry, pfails, benchmarks, config, probability,
+                  inner_workers)
+                 for geometry in geometries]
+        with ProcessPoolExecutor(
+                max_workers=min(cell_workers, len(items))) as pool:
+            pending = {pool.submit(_run_cell_group, item) for item in items}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    for cell, results in future.result():
+                        finish(cell, results)
+    else:
+        if workers is None and cell_workers > 1:
+            # A single-geometry grid leaves nothing to fan out at cell
+            # level; spend the requested width on benchmarks instead
+            # of silently dropping it.
+            workers = cell_workers
+        with fresh_results():
+            for cell in cells:
+                cell_config = replace(config, geometry=cell.geometry,
+                                      pfail=cell.pfail)
+                finish(cell, run_suite(cell_config, benchmarks=benchmarks,
+                                       workers=workers,
+                                       target_probability=probability))
+
+    # Deterministic assembly: grid order, regardless of completion order.
     points: list[DesignPoint] = []
     all_results = []
-    with fresh_results():
-        for cell in sweep_cells(tuple(geometries), tuple(pfails)):
-            cost_model = MechanismCostModel(cell.geometry)
-            cell_config = replace(config, geometry=cell.geometry,
-                                  pfail=cell.pfail)
-            results = run_suite(cell_config, benchmarks=benchmarks,
-                                workers=workers,
-                                target_probability=probability)
-            all_results.extend(results)
-            for mechanism in MECHANISMS:
-                cost = cost_model.cost_of(mechanism)
-                pwcets = [result.pwcet(mechanism.name)
-                          for result in results]
-                gains = [result.gain(mechanism.name) for result in results]
-                points.append(DesignPoint(
-                    cell=cell,
-                    mechanism=mechanism.name,
-                    mean_pwcet=statistics.mean(pwcets),
-                    mean_gain=statistics.mean(gains),
-                    area_cells=cost.total_cell_equivalents,
-                    area_overhead=cost.area_overhead_ratio,
-                    leakage_cells=cost.leakage_equivalents))
+    for cell in cells:
+        points.extend(points_by_cell[cell])
+        all_results.extend(results_by_cell[cell])
     return SweepResult(points=tuple(points), benchmarks=tuple(benchmarks),
                        probability=probability,
                        solver_totals=solver_totals(all_results))

@@ -1,0 +1,141 @@
+"""`repro cache gc`: offline compaction of the persistent stores."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.store import ClassificationStore, classification_key
+from repro.cache import CacheGeometry
+from repro.pwcet import EstimatorConfig, PWCETEstimator
+from repro.solve.gc import GC_SHARD_NAME, compact_shard_dir, gc_cache
+from repro.solve.store import SolveStore, solve_key
+from repro.suite import load
+
+GEOMETRY = CacheGeometry.from_size(1024, 4, 16)
+
+
+def _populate_both_stores(root) -> None:
+    """A real estimation writes both solve and classification shards."""
+    estimator = PWCETEstimator(load("fibcall"),
+                               EstimatorConfig(cache=str(root)),
+                               name="fibcall")
+    for mechanism in ("none", "srb", "rw"):
+        estimator.estimate(mechanism)
+
+
+class TestCompaction:
+    def test_folds_shards_into_one_sorted_file(self, tmp_path):
+        store = SolveStore(tmp_path)
+        for index in range(5):
+            store.put(solve_key("ctx", [("x", float(index))], False), index)
+        store.close()
+        shard_dir = tmp_path / "v1"
+        # A second writer process that re-derived the same entries:
+        # identical lines in a second shard, as concurrent cold runs do.
+        first = next(shard_dir.glob("shard-*.jsonl"))
+        (shard_dir / "shard-99999-twin.jsonl").write_text(first.read_text())
+        assert len(list(shard_dir.glob("shard-*.jsonl"))) == 2
+
+        report = compact_shard_dir(shard_dir)
+        assert report.shards_before == 2
+        assert report.entries == 5
+        assert report.duplicates_dropped == 5
+        shards = list(shard_dir.glob("shard-*.jsonl"))
+        assert [shard.name for shard in shards] == [GC_SHARD_NAME]
+        keys = [json.loads(line)["k"]
+                for line in shards[0].read_text().splitlines()]
+        assert keys == sorted(keys)
+
+    def test_corrupt_lines_are_dropped_for_good(self, tmp_path):
+        store = SolveStore(tmp_path)
+        key = solve_key("ctx", [("x", 1.0)], False)
+        store.put(key, 5)
+        store.close()
+        shard_dir = tmp_path / "v1"
+        shard = next(shard_dir.glob("shard-*.jsonl"))
+        with open(shard, "a") as handle:
+            handle.write('{"t":"solve","k":"abc","v":12\n')  # truncated
+            handle.write("garbage\n")
+        report = compact_shard_dir(shard_dir)
+        assert report.corrupt_dropped == 2
+        assert report.entries == 1
+        fresh = SolveStore(tmp_path)
+        assert fresh.get(key) == 5
+        assert fresh.stats.corrupt_skipped == 0
+
+    def test_dry_run_touches_nothing(self, tmp_path):
+        store = SolveStore(tmp_path)
+        store.put(solve_key("ctx", [("x", 1.0)], False), 5)
+        store.close()
+        shard_dir = tmp_path / "v1"
+        before = sorted(path.name for path in shard_dir.iterdir())
+        report = compact_shard_dir(shard_dir, dry_run=True)
+        assert report.dry_run
+        assert "would fold" in report.format_row()
+        assert sorted(path.name for path in shard_dir.iterdir()) == before
+
+    def test_empty_directory_reports_none(self, tmp_path):
+        assert compact_shard_dir(tmp_path / "v1") is None
+
+
+class TestGcCache:
+    def test_compacts_both_stores_under_one_root(self, tmp_path):
+        _populate_both_stores(tmp_path)
+        reports = gc_cache(str(tmp_path))
+        directories = {report.directory.rsplit("/", 1)[-1]
+                       for report in reports}
+        assert any(name.startswith("v") for name in directories)
+        assert any(name.startswith("classify-v") for name in directories)
+        for report in reports:
+            assert report.corrupt_dropped == 0
+            assert report.entries > 0
+
+    def test_warm_run_after_gc_is_still_fully_cached(self, tmp_path):
+        _populate_both_stores(tmp_path)
+        gc_cache(str(tmp_path))
+        estimator = PWCETEstimator(load("fibcall"),
+                                   EstimatorConfig(cache=str(tmp_path)),
+                                   name="fibcall")
+        # Fresh handles, so the compacted shard is what gets read.
+        estimator._analysis._store = ClassificationStore(tmp_path)
+        fresh_store = SolveStore(tmp_path)
+        estimator._planner.attach_store(
+            fresh_store, estimator._planner._store_context)
+        for mechanism in ("none", "srb", "rw"):
+            estimator.estimate(mechanism)
+        stats = estimator.stats_summary()
+        assert stats["ilp_solved"] == 0
+        assert stats["fixpoints_run"] == 0
+
+    def test_off_means_nothing_to_compact(self):
+        assert gc_cache("off") == []
+
+    def test_classification_entries_survive_compaction(self, tmp_path):
+        store = ClassificationStore(tmp_path)
+        key = classification_key("cfg", GEOMETRY, 2)
+        store.put(key, {"blocks": [[0, [0, 2]]]})
+        store.close()
+        gc_cache(str(tmp_path))
+        assert ClassificationStore(tmp_path).get(key) == \
+            {"blocks": [[0, [0, 2]]]}
+
+
+class TestCli:
+    def test_cache_gc_command(self, tmp_path, capsys):
+        from repro.cli import main
+        _populate_both_stores(tmp_path)
+        assert main(["cache", "gc", "--dry-run",
+                     "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "would save" in out
+        assert main(["cache", "gc", "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "saved" in out
+        # Idempotent: a second gc folds the already-folded shard.
+        assert main(["cache", "gc", "--cache", str(tmp_path)]) == 0
+
+    def test_cache_gc_on_missing_directory(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["cache", "gc",
+                     "--cache", str(tmp_path / "empty")]) == 0
+        assert "nothing to compact" in capsys.readouterr().out
