@@ -1,0 +1,100 @@
+"""BENCH-PIPELINE — the unified DAG scheduler vs the phase barrier.
+
+The unified pipeline (:mod:`repro.pipeline`) runs the 25-benchmark
+suite as one dependency DAG on a shared worker pool: an estimation
+stage starts the moment *its own* benchmark's classification artifact
+exists, so ILP solve workers overlap other benchmarks' fixpoints.
+The historical orchestration was phase-barriered — every solve waited
+for the whole classification phase.
+
+This bench runs both modes through the *same* scheduler (the barrier
+is expressed as extra DAG edges: every estimate depends on every
+classification), cold (persistent stores off), multi-worker, and
+checks:
+
+* both modes produce bit-identical suite results (the DAG changes
+  where work runs, never what is computed);
+* the pipelined DAG is at least 15 % faster wall-clock than the
+  phase-barriered baseline (the ISSUE's acceptance floor).
+
+Exports ``BENCH_pipeline.json`` under ``benchmarks/results/``.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.pipeline.scheduler import PipelineStats
+from repro.pipeline.stages import suite_pipeline
+from repro.pwcet import EstimatorConfig
+from repro.suite import EVALUATED_BENCHMARKS
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+WORKERS = 4
+ROUNDS = 3
+TARGET_PROBABILITY = 1e-15
+
+
+def _run_suite_dag(*, workers: int, phase_barrier: bool):
+    """One cold suite DAG run; returns (seconds, results, stats)."""
+    config = EstimatorConfig(cache="off")
+    stats = PipelineStats()
+    start = time.perf_counter()
+    results = suite_pipeline(EVALUATED_BENCHMARKS, config,
+                             TARGET_PROBABILITY, workers=workers,
+                             stats=stats, phase_barrier=phase_barrier)
+    return time.perf_counter() - start, results, stats
+
+
+def _comparable(results):
+    """The paper-facing numbers (what bit-identity is judged on)."""
+    return {
+        name: (result.wcet_fault_free,
+               tuple(result.pwcet(mechanism)
+                     for mechanism in ("none", "srb", "rw")))
+        for name, result in results.items()
+    }
+
+
+def test_pipeline_overlap_vs_phase_barrier(benchmark, emit):
+    sequential_seconds, sequential_results, _ = _run_suite_dag(
+        workers=1, phase_barrier=False)
+
+    barrier_seconds = None
+    for _ in range(ROUNDS):
+        seconds, barrier_results, barrier_stats = _run_suite_dag(
+            workers=WORKERS, phase_barrier=True)
+        barrier_seconds = (seconds if barrier_seconds is None
+                           else min(barrier_seconds, seconds))
+
+    def pipelined():
+        return _run_suite_dag(workers=WORKERS, phase_barrier=False)
+
+    _seconds, pipelined_results, pipelined_stats = \
+        benchmark.pedantic(pipelined, rounds=ROUNDS, iterations=1)
+    pipelined_seconds = min(benchmark.stats.stats.data)
+
+    # Bit-identity across scheduling modes and worker counts.
+    assert _comparable(pipelined_results) == _comparable(barrier_results)
+    assert _comparable(pipelined_results) == _comparable(sequential_results)
+
+    speedup = barrier_seconds / pipelined_seconds
+    payload = {
+        "benchmarks": len(EVALUATED_BENCHMARKS),
+        "workers": WORKERS,
+        "sequential_seconds": sequential_seconds,
+        "barrier_seconds": barrier_seconds,
+        "pipelined_seconds": pipelined_seconds,
+        "speedup_vs_barrier": speedup,
+        "pipelined_tasks": pipelined_stats.tasks,
+        "ilp_solved": pipelined_stats.counters.get("ilp_solved", 0),
+        "fixpoints_run": pipelined_stats.counters.get("fixpoints_run", 0),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_pipeline.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+    emit("pipeline_overlap", json.dumps(payload, indent=2))
+    # The acceptance floor: pipelined >= 15 % faster than the
+    # phase-barriered baseline, cold, multi-worker (measured ~1.5x).
+    assert speedup >= 1.15

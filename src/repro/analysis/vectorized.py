@@ -34,13 +34,22 @@ answers every degraded associativity ``W-1 .. 1`` by comparing the
 recorded access-time ages against ``a`` — no further fixpoints, where
 the dict oracle re-runs the full dataflow per associativity.
 
-**Shared worklist.**  The fixpoint itself is the generic
-:func:`repro.analysis.fixpoint.solve`, instantiated with array states;
-both engines traverse the CFG identically, which keeps the
-equivalence property testable one worklist implementation at a time.
+**Per-set early exit.**  Elementwise transfers and joins never mix
+set segments, so the joint fixpoint is the product of independent
+per-set fixpoints.  The engine's worklist tracks which *segments* of a
+block's OUT state actually changed and re-propagates only those: a
+converged set is blanked out of the transfer and the join entirely
+(:attr:`AgeVectorEngine.segments_blanked` counts the skipped
+segment-visits), so one slow cache set no longer drags every other set
+through extra iterations.  The result is the same least fixpoint —
+per-set LFPs recombine into the joint LFP — and the equivalence
+property tests against the dict oracle pin that at every
+associativity.
 """
 
 from __future__ import annotations
+
+from collections import Counter, deque
 
 import numpy as np
 
@@ -48,6 +57,11 @@ from repro.analysis.fixpoint import solve
 from repro.analysis.references import Reference
 from repro.cache import CacheGeometry
 from repro.cfg import CFG
+from repro.errors import AnalysisError
+
+#: Safety valve against non-monotone transfer bugs (mirrors the
+#: generic worklist solver's limit).
+_MAX_VISITS_PER_BLOCK = 10_000
 
 
 class AgeVectorEngine:
@@ -81,17 +95,29 @@ class AgeVectorEngine:
                 flat_index[(set_index, memory_block)] = offset
                 offset += 1
         self._size = offset
+        #: Segment bounds in layout order, and their start offsets (for
+        #: ``np.add.reduceat``-based per-segment change detection).
+        self._segments: tuple[tuple[int, int], ...] = tuple(
+            segments[set_index] for set_index in sorted(segments))
+        self._seg_starts = np.fromiter(
+            (start for start, _stop in self._segments), dtype=np.intp,
+            count=len(self._segments))
+        seg_of_start = {start: position for position, (start, _stop)
+                        in enumerate(self._segments)}
         # int8 unless the sentinel W itself would overflow it.
         self._dtype = np.int8 if self._ways < 127 else np.int32
         #: Per CFG block, the fetch sequence as (segment start, segment
-        #: stop, flat index, is_repeat) tuples.  ``is_repeat`` marks a
-        #: fetch whose set's previous fetch *within the same CFG block*
-        #: touched the same memory block: the block is then at age 0
-        #: whatever the incoming state, so the access is an identity
-        #: transfer and its recorded age is 0.  Sequential instruction
-        #: fetches share cache lines, so this drops most of the
-        #: per-access array work.
-        self._accesses: dict[int, tuple[tuple[int, int, int, bool], ...]] = {}
+        #: stop, flat index, is_repeat, segment position) tuples.
+        #: ``is_repeat`` marks a fetch whose set's previous fetch
+        #: *within the same CFG block* touched the same memory block:
+        #: the block is then at age 0 whatever the incoming state, so
+        #: the access is an identity transfer and its recorded age is
+        #: 0.  Sequential instruction fetches share cache lines, so
+        #: this drops most of the per-access array work.  The segment
+        #: position lets the worklist blank accesses of converged sets
+        #: out of the transfer.
+        self._accesses: dict[
+            int, tuple[tuple[int, int, int, bool, int], ...]] = {}
         for block_id, refs in references.items():
             ops = []
             previous: dict[int, int] = {}  # set -> flat idx of last fetch
@@ -100,10 +126,15 @@ class AgeVectorEngine:
                                     reference.memory_block)]
                 repeat = previous.get(reference.set_index) == index
                 previous[reference.set_index] = index
-                ops.append((*segments[reference.set_index], index, repeat))
+                start, stop = segments[reference.set_index]
+                ops.append((start, stop, index, repeat,
+                            seg_of_start[start]))
             self._accesses[block_id] = tuple(ops)
         self._must_ages: dict[int, np.ndarray] | None = None
         self._may_ages: dict[int, np.ndarray] | None = None
+        #: Segment-visits skipped because the segment's set had already
+        #: converged at that block (the per-set early exit at work).
+        self.segments_blanked = 0
 
     # -- the shared transfer ------------------------------------------
     def _apply(self, state: np.ndarray, start: int, stop: int,
@@ -117,7 +148,7 @@ class AgeVectorEngine:
 
     def _transfer(self, block_id: int, state: np.ndarray) -> np.ndarray:
         state = state.copy()
-        for start, stop, index, repeat in self._accesses[block_id]:
+        for start, stop, index, repeat, _seg in self._accesses[block_id]:
             if not repeat:
                 self._apply(state, start, stop, index)
         return state
@@ -125,8 +156,140 @@ class AgeVectorEngine:
     def _solve(self, join) -> dict[int, np.ndarray]:
         self.fixpoints_run += 1
         initial = np.full(self._size, self._ways, dtype=self._dtype)
-        return solve(self._cfg, initial=initial, join=join,
-                     transfer=self._transfer, equal=np.array_equal)
+        if not self._segments:
+            # No references at all: the generic solver handles the
+            # trivial graph without any per-set machinery.
+            return solve(self._cfg, initial=initial, join=join,
+                         transfer=self._transfer, equal=np.array_equal)
+        return self._solve_segmented(join, initial)
+
+    def _solve_segmented(self, join,
+                         initial: np.ndarray) -> dict[int, np.ndarray]:
+        """Worklist fixpoint with per-set convergence tracking.
+
+        Each worklist entry carries the set segments still *pending*
+        at that block; a visit recomputes the IN state, applies the
+        transfer, and propagates only the segments whose OUT slice
+        actually changed.  Segments of converged sets are blanked out
+        of both the join and the transfer (counted in
+        :attr:`segments_blanked`).  Because elementwise transfer and
+        joins never mix segments, this computes the per-set least
+        fixpoints — whose concatenation is exactly the joint least
+        fixpoint the generic solver finds.
+        """
+        cfg = self._cfg
+        order = cfg.reverse_postorder()
+        position = {block_id: rank for rank, block_id in enumerate(order)}
+        successors = {block_id: sorted(cfg.successors(block_id),
+                                       key=position.__getitem__)
+                      for block_id in order}
+        predecessors = {block_id: tuple(cfg.predecessors(block_id))
+                        for block_id in order}
+        segments = self._segments
+        num_segments = len(segments)
+        all_segments = range(num_segments)
+        pending: dict[int, set[int]] = {block_id: set(all_segments)
+                                        for block_id in order}
+        out_states: dict[int, np.ndarray] = {}
+        visits: Counter[int] = Counter()
+
+        worklist: deque[int] = deque(order)
+        queued = set(order)
+        while worklist:
+            block_id = worklist.popleft()
+            queued.discard(block_id)
+            todo = pending[block_id]
+            pending[block_id] = set()
+            if not todo:
+                continue
+            visits[block_id] += 1
+            if visits[block_id] > _MAX_VISITS_PER_BLOCK:
+                raise AnalysisError(
+                    f"fixpoint did not converge at block {block_id} "
+                    f"(>{_MAX_VISITS_PER_BLOCK} visits)")
+            old_out = out_states.get(block_id)
+            full = len(todo) == num_segments
+            if not full:
+                self.segments_blanked += num_segments - len(todo)
+            if full:
+                # Whole state pending: one vectorised join + transfer.
+                new_out = self._in_state_full(block_id, initial, join,
+                                              predecessors, out_states)
+                for start, stop, index, repeat, _seg in \
+                        self._accesses[block_id]:
+                    if not repeat:
+                        self._apply(new_out, start, stop, index)
+            else:
+                # Converged segments keep their previous OUT slices;
+                # only pending segments pay join + transfer work.
+                new_out = old_out.copy()
+                self._in_segments(block_id, todo, initial, join,
+                                  predecessors, out_states, new_out)
+                for start, stop, index, repeat, seg in \
+                        self._accesses[block_id]:
+                    if not repeat and seg in todo:
+                        self._apply(new_out, start, stop, index)
+            if old_out is None:
+                changed = todo
+            else:
+                difference = np.not_equal(old_out, new_out)
+                if not difference.any():
+                    continue
+                mask = np.add.reduceat(difference, self._seg_starts) > 0
+                changed = set(np.nonzero(mask)[0].tolist())
+            out_states[block_id] = new_out
+            for successor in successors[block_id]:
+                pending[successor] |= changed
+                if successor not in queued:
+                    worklist.append(successor)
+                    queued.add(successor)
+
+        # One final pass so IN states reflect the converged OUT states
+        # of *all* predecessors (including back edges processed last).
+        return {block_id: self._in_state_full(block_id, initial, join,
+                                              predecessors, out_states)
+                for block_id in order}
+
+    def _in_state_full(self, block_id: int, initial: np.ndarray, join,
+                       predecessors, out_states) -> np.ndarray:
+        """Whole-vector IN state (join of computed predecessor OUTs)."""
+        if block_id == self._cfg.entry_id:
+            return initial.copy()
+        state: np.ndarray | None = None
+        for predecessor in predecessors[block_id]:
+            predecessor_out = out_states.get(predecessor)
+            if predecessor_out is None:
+                continue
+            state = (predecessor_out.copy() if state is None
+                     else join(state, predecessor_out))
+        if state is None:
+            raise AnalysisError(
+                f"block {block_id} has no computed predecessor "
+                "(unreachable?)")
+        return state
+
+    def _in_segments(self, block_id: int, todo, initial: np.ndarray,
+                     join, predecessors, out_states,
+                     target: np.ndarray) -> None:
+        """Write the IN state of the pending segments into ``target``."""
+        if block_id == self._cfg.entry_id:
+            for seg in todo:
+                start, stop = self._segments[seg]
+                target[start:stop] = initial[start:stop]
+            return
+        computed = [out_states[predecessor]
+                    for predecessor in predecessors[block_id]
+                    if predecessor in out_states]
+        if not computed:
+            raise AnalysisError(
+                f"block {block_id} has no computed predecessor "
+                "(unreachable?)")
+        for seg in todo:
+            start, stop = self._segments[seg]
+            slice_state = computed[0][start:stop]
+            for other in computed[1:]:
+                slice_state = join(slice_state, other[start:stop])
+            target[start:stop] = slice_state
 
     def _replay(self, in_states: dict[int, np.ndarray]
                 ) -> dict[int, np.ndarray]:
@@ -135,7 +298,8 @@ class AgeVectorEngine:
         for block_id, accesses in self._accesses.items():
             state = in_states[block_id].copy()
             block_ages = np.zeros(len(accesses), dtype=self._dtype)
-            for position, (start, stop, index, repeat) in enumerate(accesses):
+            for position, (start, stop, index, repeat,
+                           _seg) in enumerate(accesses):
                 if not repeat:  # repeats stay at the pre-filled age 0
                     block_ages[position] = state[index]
                     self._apply(state, start, stop, index)

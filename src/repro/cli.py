@@ -13,6 +13,11 @@ Commands
 ``cache gc``   fold the persistent stores' append-only shards into
                one sorted, checksummed file each (``--dry-run`` for
                a statistics report only).
+``cache export``  pack the gc'd canonical shards of both stores into
+               a tarball for another machine (the live cache is left
+               untouched).
+``cache import``  merge a cache tarball content-addressed: novel
+               entries are appended, existing ones never clobbered.
 ``list``       list the available benchmarks with size metadata.
 
 All estimation commands consult the persistent caches — the solve
@@ -183,6 +188,34 @@ def _command_cache_gc(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cache_export(arguments: argparse.Namespace) -> int:
+    from repro.solve.gc import export_cache
+    reports = export_cache(arguments.tarball, arguments.cache)
+    if not reports:
+        print("cache export: nothing to pack (no shards found)")
+        return 0
+    for report in reports:
+        print(report.format_row())
+    total = sum(report.entries for report in reports)
+    print(f"cache export: packed {total} entr(ies) into "
+          f"{arguments.tarball}")
+    return 0
+
+
+def _command_cache_import(arguments: argparse.Namespace) -> int:
+    from repro.solve.gc import import_cache
+    reports = import_cache(arguments.tarball, arguments.cache)
+    if not reports:
+        print("cache import: no store shards found in "
+              f"{arguments.tarball}")
+        return 0
+    for report in reports:
+        print(report.format_row())
+    total = sum(report.imported for report in reports)
+    print(f"cache import: merged {total} new entr(ies)")
+    return 0
+
+
 def _command_list(_arguments: argparse.Namespace) -> int:
     print(f"{'benchmark':14s} {'bytes':>7s} {'instrs':>7s}  description")
     for name in EVALUATED_BENCHMARKS:
@@ -275,6 +308,27 @@ def build_parser() -> argparse.ArgumentParser:
                           help="report what compaction would do without "
                                "touching any shard")
     cache_gc.set_defaults(handler=_command_cache_gc)
+    cache_export = cache_commands.add_parser(
+        "export", help="pack the gc'd canonical shards of both stores "
+                       "into a tarball (the live cache is not modified)")
+    cache_export.add_argument("tarball",
+                              help="output tarball path (gzip-compressed)")
+    cache_export.add_argument("--cache", default=None, metavar="off|PATH",
+                              help="cache directory to export (default: "
+                                   "REPRO_SOLVE_CACHE, else the user "
+                                   "cache dir)")
+    cache_export.set_defaults(handler=_command_cache_export)
+    cache_import = cache_commands.add_parser(
+        "import", help="merge a cache tarball content-addressed: novel "
+                       "entries are appended, existing ones never "
+                       "clobbered")
+    cache_import.add_argument("tarball", help="tarball produced by "
+                                              "`repro cache export`")
+    cache_import.add_argument("--cache", default=None, metavar="off|PATH",
+                              help="cache directory to merge into "
+                                   "(default: REPRO_SOLVE_CACHE, else "
+                                   "the user cache dir)")
+    cache_import.set_defaults(handler=_command_cache_import)
 
     listing = commands.add_parser("list", help="available benchmarks")
     listing.set_defaults(handler=_command_list)

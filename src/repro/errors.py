@@ -59,3 +59,8 @@ class SimulationError(ReproError):
 
 class EstimationError(ReproError):
     """End-to-end pWCET estimation could not be completed."""
+
+
+class PipelineError(ReproError):
+    """A pipeline DAG is malformed (duplicate key, missing or cyclic
+    dependency) or a stage task failed to execute."""

@@ -2,22 +2,34 @@
 
 All figure generators need the same per-benchmark artefacts (fault-free
 WCET, the three pWCET estimates); this module computes them once per
-(benchmark, configuration) and caches in process.  The suite can also
-fan benchmarks out over a ``concurrent.futures`` process pool
-(``run_suite(workers=...)`` or ``EstimatorConfig(workers=...)``);
-results are bit-identical to the sequential path and land in the same
-cache.
+(benchmark, configuration) and caches in process.  Execution goes
+through the unified pipeline (:mod:`repro.pipeline`): every benchmark
+expands into a classification stage and an estimation stage, and
+``run_suite(workers=N)`` runs the whole suite's DAG on one shared
+process pool — solve stages of early benchmarks overlap the
+classification fixpoints of later ones, with no phase barrier and no
+private pool.  Results are bit-identical to the sequential path and
+land in the same cache.
+
+Stats are scoped per pipeline run: each
+:class:`~repro.experiments.runner.BenchmarkResult` snapshots the
+counters of the run that computed it, and callers that need the
+aggregate of exactly one invocation pass their own
+:class:`~repro.pipeline.scheduler.PipelineStats` — re-entering
+``run_suite`` can neither zero nor double-count a previous run's
+numbers (see ``tests/test_pipeline_suite.py``).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
-from repro.pwcet import EstimatorConfig, PWCETEstimate, PWCETEstimator
+from repro.pipeline.scheduler import PipelineStats
+from repro.pipeline.stages import suite_pipeline
+from repro.pwcet import EstimatorConfig, PWCETEstimate
 from repro.pwcet.estimator import TARGET_EXCEEDANCE
-from repro.suite import EVALUATED_BENCHMARKS, load
+from repro.suite import EVALUATED_BENCHMARKS
 
 
 @dataclass(frozen=True)
@@ -28,10 +40,11 @@ class BenchmarkResult:
     wcet_fault_free: int
     estimates: dict[str, PWCETEstimate]  # keyed by mechanism name
     target_probability: float
-    #: Planner + cache-analysis counters of the run that produced this
-    #: result (``None`` for results materialised before stats plumbing
-    #: existed).  Lets suite/sweep drivers prove properties like "the
-    #: warm rerun solved zero backend ILPs and ran zero fixpoints".
+    #: Planner + cache-analysis counters of the pipeline run that
+    #: produced this result (``None`` for results materialised before
+    #: stats plumbing existed).  A snapshot, never live state: the
+    #: numbers describe the run that computed the result and stay
+    #: valid however often drivers re-enter ``run_suite``.
     solver_stats: dict[str, float] | None = None
 
     def pwcet(self, mechanism: str) -> int:
@@ -61,26 +74,27 @@ def run_benchmark(name: str, config: EstimatorConfig | None = None, *,
         config = EstimatorConfig()
     key = (name, config, target_probability)
     if key not in _CACHE:
-        estimator = PWCETEstimator(load(name), config, name=name)
-        _CACHE[key] = BenchmarkResult(
-            name=name,
-            wcet_fault_free=estimator.fault_free_wcet(),
-            estimates=estimator.estimate_all(),
-            target_probability=target_probability,
-            solver_stats=estimator.stats_summary())
+        _CACHE[key] = suite_pipeline((name,), config, target_probability,
+                                     workers=1)[name]
     return _CACHE[key]
 
 
 def run_suite(config: EstimatorConfig | None = None, *,
               target_probability: float = TARGET_EXCEEDANCE,
               benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
-              workers: int | None = None) -> list[BenchmarkResult]:
+              workers: int | None = None,
+              pipeline_stats: PipelineStats | None = None
+              ) -> list[BenchmarkResult]:
     """Run the whole 25-benchmark suite (Figure 4's input data).
 
     ``workers`` (default: the configuration's ``workers`` field) > 1
-    distributes whole benchmarks over a process pool; each worker runs
-    the full pipeline for its benchmark and ships the pickled result
-    back, so outputs match the sequential path exactly.
+    executes the suite DAG on a shared process pool: classification
+    and estimation stages of different benchmarks interleave freely
+    (only each benchmark's own artifact dependency is enforced), so
+    outputs match the sequential path exactly while no worker idles on
+    another benchmark's fixpoints.  ``pipeline_stats`` scopes the
+    counters of exactly this invocation — benchmarks served from the
+    in-process memo contribute nothing to it.
     """
     if config is None:
         config = EstimatorConfig()
@@ -88,13 +102,12 @@ def run_suite(config: EstimatorConfig | None = None, *,
         workers = config.workers
     pending = [name for name in benchmarks
                if (name, config, target_probability) not in _CACHE]
-    if workers > 1 and len(pending) > 1:
-        items = [(name, config, target_probability) for name in pending]
-        with ProcessPoolExecutor(
-                max_workers=min(workers, len(items))) as pool:
-            for name, result in zip(pending,
-                                    pool.map(_run_benchmark_task, items)):
-                _CACHE[(name, config, target_probability)] = result
+    if pending:
+        computed = suite_pipeline(tuple(pending), config,
+                                  target_probability,
+                                  workers=workers, stats=pipeline_stats)
+        for name in pending:
+            _CACHE[(name, config, target_probability)] = computed[name]
     return [run_benchmark(name, config,
                           target_probability=target_probability)
             for name in benchmarks]
@@ -102,7 +115,12 @@ def run_suite(config: EstimatorConfig | None = None, *,
 
 def reset_cache() -> None:
     """Forget memoised results (fresh-invocation semantics for tests,
-    benchmarks and warm/cold comparisons)."""
+    benchmarks and warm/cold comparisons).
+
+    Only the result memo is dropped: per-result ``solver_stats`` are
+    immutable snapshots of their own pipeline run, so results already
+    handed out keep accurate numbers.
+    """
     _CACHE.clear()
 
 
@@ -133,24 +151,7 @@ def solver_totals(results: list[BenchmarkResult]) -> dict[str, float]:
     Rate-style entries (``*_rate``) do not sum and are recomputed from
     the totals where meaningful.
     """
-    totals: dict[str, float] = {}
+    stats = PipelineStats()
     for result in results:
-        for key, value in (result.solver_stats or {}).items():
-            if not key.endswith("_rate"):
-                totals[key] = totals.get(key, 0) + value
-    solves = totals.get("ilp_solved", 0) + totals.get("store_hits", 0)
-    totals["store_hit_rate"] = (
-        totals.get("store_hits", 0) / solves if solves else 0.0)
-    return totals
-
-
-def _run_benchmark_task(item: tuple[str, EstimatorConfig, float]
-                        ) -> BenchmarkResult:
-    """Pool entry point: one whole benchmark per task.
-
-    The child runs single-worker — benchmark-level parallelism already
-    owns the pool, so nesting per-ILP pools would only add overhead.
-    """
-    name, config, target_probability = item
-    return run_benchmark(name, replace(config, workers=1),
-                         target_probability=target_probability)
+        stats.merge_counters(result.solver_stats)
+    return stats.totals()

@@ -1,0 +1,53 @@
+"""The unified estimation pipeline: typed artifacts + one DAG scheduler.
+
+The paper's estimation flow (program → CFG → cache classification →
+FMM → ILP solve → pWCET distribution) used to be orchestrated three
+different ways — inside the estimator, again in the experiment runner,
+and a third time in the sweep service, each with its own worker pool.
+This package makes the pipeline an explicit, schedulable artifact
+graph instead of a call stack:
+
+``artifacts``
+    Frozen stage outputs (:class:`CfgArtifact`,
+    :class:`ClassificationArtifact`, :class:`SolveArtifact`,
+    :class:`FmmArtifact`, :class:`DistributionArtifact`), each keyed
+    by the digest its stage's persistent store already uses.
+
+``scheduler``
+    :class:`PipelineScheduler` — the dependency-DAG executor with one
+    shared worker pool that interleaves classification fixpoints with
+    ILP solve batches across benchmarks, geometries and fault counts;
+    :class:`PipelineStats` — per-run merged solver + analysis
+    counters.
+
+``stages``
+    Pool-safe stage task bodies and the suite DAG builder
+    (:func:`~repro.pipeline.stages.suite_pipeline`).
+
+The estimator (:mod:`repro.pwcet.estimator`), the suite runner
+(:mod:`repro.experiments.runner`) and the sweep service
+(:mod:`repro.sweep.service`) all execute through this scheduler;
+outputs are bit-identical to the historical phase-barriered paths.
+"""
+
+from repro.pipeline.artifacts import (CfgArtifact, ClassificationArtifact,
+                                      DistributionArtifact, FmmArtifact,
+                                      SolveArtifact, StageArtifact)
+from repro.pipeline.scheduler import PipelineScheduler, PipelineStats
+from repro.pipeline.stages import (SUITE_MECHANISMS, classify_stage,
+                                   estimate_stage, suite_pipeline)
+
+__all__ = [
+    "CfgArtifact",
+    "ClassificationArtifact",
+    "DistributionArtifact",
+    "FmmArtifact",
+    "SolveArtifact",
+    "StageArtifact",
+    "PipelineScheduler",
+    "PipelineStats",
+    "SUITE_MECHANISMS",
+    "classify_stage",
+    "estimate_stage",
+    "suite_pipeline",
+]

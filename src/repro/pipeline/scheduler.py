@@ -1,0 +1,312 @@
+"""The dependency-DAG scheduler shared by estimator, runner and sweep.
+
+One :class:`PipelineScheduler` owns one worker pool and executes a DAG
+of stage tasks: fixpoint/classification stages, ILP solve stages, and
+whole sweep-cell groups all land on the *same* pool, so solve workers
+start on one benchmark's ILPs while another benchmark's cache analysis
+is still running — there is no phase barrier between stages, only the
+declared artifact dependencies.
+
+Execution model
+---------------
+
+* Tasks are added with :meth:`PipelineScheduler.add` — a key, a
+  callable, static args, dependency keys, and whether the task may run
+  on the process pool.  Dependency results are appended to the task's
+  positional arguments in declared order.
+* :meth:`run` executes the DAG.  Ready tasks are started in submission
+  order (a min-heap over the insertion index), which makes the
+  ``workers=1`` inline path a deterministic sequential program — the
+  property the bit-identity guarantees lean on — and makes a
+  dependent task (a solve) jump ahead of unrelated later stages the
+  moment its inputs are complete.
+* At most ``workers`` pool tasks are in flight; the scheduler keeps
+  the rest queued itself instead of handing them to the executor, so
+  a freshly unblocked low-index task is never stuck behind a wall of
+  queued high-index ones.
+* Inline tasks (closures over in-process state — the estimator's own
+  stages) run in the parent while pool futures are outstanding.
+
+Besides DAG tasks the scheduler doubles as the *solve executor* of
+:class:`~repro.solve.planner.SolvePlanner`:
+:meth:`map_solves` fans batched ILP objectives over the same pool
+(workers memoise the rebuilt backend per program token), so a single
+pool serves both the coarse stage tasks and the fine solve batches.
+
+Per-run work is accounted in a fresh :class:`PipelineStats` — the
+merge of the solver's and the analysis' counters, scoped to one
+:meth:`run` invocation so re-entrant drivers can never double-count or
+silently zero a previous run's numbers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+import uuid
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import (FIRST_COMPLETED, Future,
+                                ProcessPoolExecutor, wait)
+from dataclasses import dataclass, field
+
+from repro.errors import PipelineError
+
+
+@dataclass
+class PipelineStats:
+    """Counters of one pipeline run: stage tasks + merged work counters.
+
+    ``counters`` is the union of the solver family
+    (:class:`~repro.solve.planner.SolveStats`) and the analysis family
+    (:class:`~repro.analysis.classify.AnalysisStats`), summed over
+    every stage of the run; rate-style entries (``*_rate``) are never
+    summed and are recomputed from the totals in :meth:`totals`.
+    Scope is one run: a fresh instance per :meth:`PipelineScheduler
+    .run` (or one passed in by the driver), never shared module state.
+    """
+
+    #: Completed tasks per stage name.
+    tasks: dict[str, int] = field(default_factory=dict)
+    #: Summed work counters of every stage (solver + analysis).
+    counters: dict[str, float] = field(default_factory=dict)
+    #: Wall-clock seconds spent inside :meth:`PipelineScheduler.run`.
+    wall_seconds: float = 0.0
+
+    def count_task(self, stage: str) -> None:
+        self.tasks[stage] = self.tasks.get(stage, 0) + 1
+
+    def merge_counters(self, counters: dict[str, float] | None) -> None:
+        """Fold one stage's counter dict in (rates are skipped)."""
+        for key, value in (counters or {}).items():
+            if not key.endswith("_rate"):
+                self.counters[key] = self.counters.get(key, 0) + value
+
+    def totals(self) -> dict[str, float]:
+        """The summed counters with ``store_hit_rate`` recomputed."""
+        totals = dict(self.counters)
+        solves = totals.get("ilp_solved", 0) + totals.get("store_hits", 0)
+        totals["store_hit_rate"] = (
+            totals.get("store_hits", 0) / solves if solves else 0.0)
+        return totals
+
+    @property
+    def tasks_run(self) -> int:
+        return sum(self.tasks.values())
+
+
+@dataclass
+class _Task:
+    key: str
+    stage: str
+    fn: Callable
+    args: tuple
+    deps: tuple[str, ...]
+    pool: bool
+    index: int
+
+
+def _run_pool_task(fn: Callable, args: tuple) -> object:
+    """Pool entry point for stage tasks (keeps ``fn`` a plain pickle)."""
+    return fn(*args)
+
+
+#: Worker-side backends rebuilt from program snapshots, memoised per
+#: planner token so one long-lived pool serves many programs without
+#: rebuilding on every chunk.  Bounded: oldest entry evicted beyond
+#: :data:`_MAX_WORKER_BACKENDS`.
+_WORKER_BACKENDS: dict[str, object] = {}
+_MAX_WORKER_BACKENDS = 4
+
+
+def _solve_chunk(token: str, snapshot: object,
+                 items: Sequence[tuple[tuple, bool]]) -> list[int]:
+    """Solve one chunk of (objective, relaxed) payloads in a worker."""
+    # Imported here, not at module level: repro.solve imports the
+    # planner, which imports this module — the lazy import keeps the
+    # package graph acyclic (and only workers ever pay it).
+    from repro.solve.backend import ceil_bound, make_backend
+
+    backend = _WORKER_BACKENDS.get(token)
+    if backend is None:
+        while len(_WORKER_BACKENDS) >= _MAX_WORKER_BACKENDS:
+            _WORKER_BACKENDS.pop(next(iter(_WORKER_BACKENDS)))
+        backend = _WORKER_BACKENDS[token] = make_backend(snapshot)
+    values = []
+    for objective, relaxed in items:
+        value, _ = backend.solve(dict(objective), sign=-1.0,
+                                 relaxed=relaxed)
+        values.append(ceil_bound(value) if relaxed else int(round(value)))
+    return values
+
+
+class PipelineScheduler:
+    """Executes typed-artifact DAGs over one shared worker pool."""
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = max(1, int(workers))
+        self._tasks: dict[str, _Task] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        self._running = False
+        #: Distinguishes this scheduler's snapshots in worker memos.
+        self._token = uuid.uuid4().hex
+
+    # -- DAG construction ----------------------------------------------
+    def add(self, key: str, fn: Callable, *, args: tuple = (),
+            deps: Sequence[str] = (), stage: str = "task",
+            pool: bool = False) -> str:
+        """Register one stage task; returns ``key`` for chaining.
+
+        ``fn`` is called as ``fn(*args, *dep_results)`` with dependency
+        results in declared order.  ``pool=True`` allows execution on
+        the process pool (``fn`` and every argument must pickle);
+        forward references in ``deps`` are fine — the DAG is validated
+        at :meth:`run`.
+        """
+        if key in self._tasks:
+            raise PipelineError(f"duplicate pipeline task key {key!r}")
+        self._tasks[key] = _Task(
+            key=key, stage=stage, fn=fn, args=tuple(args),
+            deps=tuple(deps), pool=bool(pool) and self.workers > 1,
+            index=len(self._tasks))
+        return key
+
+    # -- execution ------------------------------------------------------
+    def run(self, *, stats: PipelineStats | None = None,
+            on_task: Callable[[str, object, int, int], None] | None = None
+            ) -> dict[str, object]:
+        """Execute every added task; return results keyed by task key.
+
+        The task set is consumed: the scheduler is immediately reusable
+        for the next DAG (the estimator adds a fresh stage graph per
+        estimation batch).  ``stats`` scopes the run's counters;
+        ``on_task(key, result, completed, total)`` streams completions
+        (deterministic submission order inline, completion order with
+        a pool).
+        """
+        tasks, self._tasks = self._tasks, {}
+        if stats is None:
+            stats = PipelineStats()
+        self._running = True
+        started = time.perf_counter()
+        for task in tasks.values():
+            for dep in task.deps:
+                if dep not in tasks:
+                    raise PipelineError(
+                        f"task {task.key!r} depends on unknown task "
+                        f"{dep!r}")
+
+        dependents: dict[str, list[str]] = {key: [] for key in tasks}
+        missing: dict[str, int] = {}
+        for task in tasks.values():
+            missing[task.key] = len(task.deps)
+            for dep in task.deps:
+                dependents[dep].append(task.key)
+
+        ready_pool: list[tuple[int, str]] = []
+        ready_inline: list[tuple[int, str]] = []
+        for task in tasks.values():
+            if missing[task.key] == 0:
+                heap = ready_pool if task.pool else ready_inline
+                heapq.heappush(heap, (task.index, task.key))
+
+        results: dict[str, object] = {}
+        in_flight: dict[Future, str] = {}
+
+        def complete(key: str, value: object) -> None:
+            results[key] = value
+            stats.count_task(tasks[key].stage)
+            for dependent in dependents[key]:
+                missing[dependent] -= 1
+                if missing[dependent] == 0:
+                    task = tasks[dependent]
+                    heap = ready_pool if task.pool else ready_inline
+                    heapq.heappush(heap, (task.index, task.key))
+            if on_task is not None:
+                on_task(key, value, len(results), len(tasks))
+
+        def drain(block: bool) -> None:
+            if not in_flight:
+                return
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED,
+                           timeout=None if block else 0)
+            for future in done:
+                complete(in_flight.pop(future), future.result())
+
+        try:
+            while len(results) < len(tasks):
+                drain(block=False)
+                while ready_pool and len(in_flight) < self.workers:
+                    _, key = heapq.heappop(ready_pool)
+                    task = tasks[key]
+                    payload = task.args + tuple(results[dep]
+                                                for dep in task.deps)
+                    future = self._ensure_pool().submit(
+                        _run_pool_task, task.fn, payload)
+                    in_flight[future] = key
+                if ready_inline:
+                    _, key = heapq.heappop(ready_inline)
+                    task = tasks[key]
+                    complete(key, task.fn(*task.args,
+                                          *(results[dep]
+                                            for dep in task.deps)))
+                elif in_flight:
+                    drain(block=True)
+                elif len(results) < len(tasks):
+                    stuck = sorted(key for key in tasks
+                                   if key not in results)
+                    raise PipelineError(
+                        "pipeline deadlock: cyclic dependencies among "
+                        f"{stuck}")
+        finally:
+            stats.wall_seconds += time.perf_counter() - started
+            self._running = False
+            self._close_pool()
+        return results
+
+    # -- the shared solve executor (SolvePlanner integration) -----------
+    def map_solves(self, token: str, snapshot: object,
+                   payload: Sequence[tuple[tuple, bool]], *,
+                   chunksize: int = 1,
+                   workers: int | None = None) -> list[int]:
+        """Batch-solve ILP payloads on the shared pool, in order.
+
+        ``token`` keys the worker-side backend memo (one rebuild per
+        worker per program, however many chunks follow).  Called from
+        inside a running DAG — an inline estimator stage priming its
+        planner — this opens (or reuses) the run's shared pool, which
+        then serves every later batch of the run and is reaped when
+        :meth:`run` returns: one pool for all of an estimation's
+        mechanisms and stages (an explicit ``workers`` request cannot
+        resize an open shared pool).  Standalone calls (a planner
+        primed outside any DAG) use a transient pool sized by
+        ``workers`` (default: the scheduler's width) so nothing
+        lingers past the call.
+        """
+        chunks = [list(payload[i:i + max(1, chunksize)])
+                  for i in range(0, len(payload), max(1, chunksize))]
+        scoped_token = f"{self._token}:{token}"
+        if self._pool is not None or self._running:
+            pool = self._ensure_pool()
+            futures = [pool.submit(_solve_chunk, scoped_token,
+                                   snapshot, chunk)
+                       for chunk in chunks]
+            return [value for future in futures
+                    for value in future.result()]
+        with ProcessPoolExecutor(
+                max_workers=min(workers or self.workers,
+                                len(chunks))) as pool:
+            futures = [pool.submit(_solve_chunk, scoped_token, snapshot,
+                                   chunk) for chunk in chunks]
+            return [value for future in futures
+                    for value in future.result()]
+
+    # -- pool lifecycle -------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _close_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

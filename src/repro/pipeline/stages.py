@@ -1,0 +1,227 @@
+"""Stage functions of the estimation pipeline (pool-safe, picklable).
+
+These are the module-level task bodies the
+:class:`~repro.pipeline.scheduler.PipelineScheduler` executes:
+
+``classify_stage``
+    program → :class:`~repro.pipeline.artifacts.ClassificationArtifact`.
+    Runs the abstract-interpretation fixpoints (or decodes warm tables
+    from the :class:`~repro.analysis.store.ClassificationStore` — the
+    store is the stage's read/write-through layer) for exactly the
+    associativities the requested mechanisms will degrade to, plus the
+    SRB hit set when a mechanism consults the buffer.
+
+``estimate_stage``
+    (program, classification artifact) →
+    :class:`~repro.experiments.runner.BenchmarkResult`.  Seeds a fresh
+    estimator with the artifact's tables (zero further fixpoints) and
+    runs the WCET + FMM + distribution stages; every ILP goes through
+    the :class:`~repro.solve.store.SolveStore` read/write-through
+    planner.
+
+``suite_pipeline``
+    Builds and runs the benchmark-suite DAG: one classify and one
+    estimate task per benchmark, dependency-chained, all on one shared
+    pool — so solve stages of early benchmarks overlap the
+    classification of later ones instead of waiting on a phase
+    barrier.  A ``phase_barrier=True`` mode (every estimate waits for
+    *every* classification) exists solely as the benchmarking baseline.
+
+The stage split is counter-transparent: an artifact-seeded estimator
+performs no classification work and no classification-store traffic,
+so the merged per-benchmark counters (classify stage + estimate stage)
+are identical to the historical fused run — which keeps suite and
+sweep reports bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis import CacheAnalysis
+from repro.analysis.store import classification_key
+from repro.pipeline.artifacts import CfgArtifact, ClassificationArtifact
+from repro.pipeline.scheduler import PipelineScheduler, PipelineStats
+from repro.reliability import ReliabilityMechanism, mechanism_by_name
+from repro.suite import load
+
+#: The paper's three configurations, in presentation order — the
+#: mechanism set of every suite/sweep estimation.
+SUITE_MECHANISMS = ("none", "srb", "rw")
+
+
+def required_classifications(mechanisms, ways: int
+                             ) -> tuple[tuple[int, ...], bool]:
+    """Associativities (in first-demand order) a mechanism set needs.
+
+    Mirrors the lazy demand order of the fused estimator exactly —
+    nominal first, then each mechanism's degraded tables ``W-1, W-2,
+    …`` — so a classify stage issues the same store traffic the
+    estimator historically did.  The flag reports whether any
+    mechanism consults the SRB (its all-faulty column replaces the
+    associativity-0 table with the buffer's hit set).
+    """
+    assocs: list[int] = [ways]
+    seen = {ways}
+    needs_srb = False
+    for mechanism in mechanisms:
+        if not isinstance(mechanism, ReliabilityMechanism):
+            mechanism = mechanism_by_name(mechanism)
+        counts = mechanism.fault_counts(ways)
+        for fault_count in range(1, max(counts) + 1):
+            if mechanism.uses_srb and fault_count == ways:
+                needs_srb = True
+                continue
+            assoc = ways - fault_count
+            if assoc not in seen:
+                seen.add(assoc)
+                assocs.append(assoc)
+    return tuple(assocs), needs_srb
+
+
+def classification_artifact(analysis: CacheAnalysis, name: str,
+                            mechanisms, *, carry_tables: bool
+                            ) -> ClassificationArtifact:
+    """Run (or decode) the classification stage on ``analysis``.
+
+    The analysis object is the read/write-through boundary: warm
+    tables decode from the persistent store, cold ones run the
+    fixpoint engine and are written through.  ``carry_tables`` embeds
+    the store-encoded tables in the artifact (required whenever the
+    artifact crosses a process boundary); without it the artifact
+    hands the analysis object itself to same-process consumers.
+    """
+    ways = analysis.geometry.ways
+    assocs, needs_srb = required_classifications(mechanisms, ways)
+    tables = {} if carry_tables else None
+    for assoc in assocs:
+        table = analysis.classification(assoc)
+        if tables is not None:
+            tables[assoc] = table.encoded()
+    srb_hits = None
+    if needs_srb:
+        srb_hits = tuple(sorted(analysis.srb_always_hits()))
+    digest = analysis.cfg.digest()
+    return ClassificationArtifact(
+        key=classification_key(digest, analysis.geometry, ways),
+        cfg=CfgArtifact(key=digest, name=name),
+        table_keys={assoc: classification_key(digest, analysis.geometry,
+                                              assoc)
+                    for assoc in assocs},
+        tables=tables,
+        srb_hits=srb_hits,
+        stats=analysis.stats.as_dict(),
+        analysis=None if carry_tables else analysis)
+
+
+def classify_stage(name: str, config, mechanisms=SUITE_MECHANISMS,
+                   carry_tables: bool = True) -> ClassificationArtifact:
+    """Stage task: full classification stage of one suite benchmark.
+
+    As a pool task (``carry_tables=True``) the artifact embeds the
+    store-encoded tables; inline it hands the analysis object over
+    directly, so the estimation stage reuses it with zero re-decoding.
+    """
+    program = load(name)
+    analysis = CacheAnalysis(program.cfg, config.geometry,
+                             cache=config.cache)
+    return classification_artifact(analysis, name, mechanisms,
+                                   carry_tables=carry_tables)
+
+
+def estimate_stage(name: str, config, target_probability: float,
+                   estimator_workers: int,
+                   artifact: ClassificationArtifact,
+                   *_barrier_artifacts) -> "object":
+    """Stage task: WCET + FMM + distribution stages of one benchmark.
+
+    ``estimator_workers`` is the per-ILP pool width of the inner
+    estimator: 1 when this stage itself runs on the task pool
+    (task-level parallelism owns the workers — nesting would only add
+    overhead), the configuration's own width when the stage runs
+    inline.  Extra positional artifacts (the ``phase_barrier``
+    benchmarking mode depends on every classification) are ignored;
+    only this benchmark's artifact seeds the estimator.
+    """
+    from repro.experiments.runner import BenchmarkResult
+    from repro.pwcet import PWCETEstimator
+
+    stage_config = replace(config, workers=estimator_workers)
+    if artifact.analysis is not None:
+        # Same-process hand-off: the classify stage's analysis serves
+        # the estimator directly (its stats already include the
+        # classification work, so nothing is merged twice).
+        estimator = PWCETEstimator(artifact.analysis.cfg, stage_config,
+                                   name=name, analysis=artifact.analysis)
+        stage_stats: dict[str, float] = {}
+    else:
+        estimator = PWCETEstimator(load(name), stage_config, name=name)
+        estimator.analysis.preload(artifact.tables, artifact.srb_hits)
+        stage_stats = artifact.stats
+    result = BenchmarkResult(
+        name=name,
+        wcet_fault_free=estimator.fault_free_wcet(),
+        estimates=estimator.estimate_all(),
+        target_probability=target_probability,
+        solver_stats=_merged_counters(estimator.stats_summary(),
+                                      stage_stats))
+    return result
+
+
+def _merged_counters(summary: dict[str, float],
+                     stage_stats: dict[str, float]) -> dict[str, float]:
+    """Fold a prior stage's counters into an estimator summary.
+
+    Count-style keys sum; rate-style keys keep the estimator's value
+    (rates never sum — drivers recompute them from totals).
+    """
+    merged = dict(summary)
+    for key, value in stage_stats.items():
+        if not key.endswith("_rate"):
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def suite_pipeline(benchmarks, config, target_probability: float, *,
+                   workers: int = 1,
+                   scheduler: PipelineScheduler | None = None,
+                   stats: PipelineStats | None = None,
+                   phase_barrier: bool = False) -> dict[str, object]:
+    """Run the suite DAG; returns BenchmarkResults keyed by name.
+
+    ``workers > 1`` executes both stage families on one shared process
+    pool with only artifact dependencies between them; ``workers=1``
+    runs the same DAG inline in deterministic submission order.
+    Results are bit-identical either way.
+    """
+    # Dedupe while preserving order: a repeated benchmark name is one
+    # task (and one result entry), exactly like the memoised runner.
+    benchmarks = tuple(dict.fromkeys(benchmarks))
+    if scheduler is None:
+        scheduler = PipelineScheduler(workers=workers)
+    # A single benchmark has nothing to overlap with: run it inline
+    # and let the configuration's own worker width drive the per-ILP
+    # batches instead (the historical behaviour).
+    pool = workers > 1 and len(benchmarks) > 1
+    estimator_workers = 1 if pool else config.workers
+    classify_keys = tuple(f"classify:{name}" for name in benchmarks)
+    for name in benchmarks:
+        scheduler.add(f"classify:{name}", classify_stage,
+                      args=(name, config, SUITE_MECHANISMS, pool),
+                      stage="classify", pool=pool)
+        deps = ((f"classify:{name}",) if not phase_barrier
+                else (f"classify:{name}",) + tuple(
+                    key for key in classify_keys
+                    if key != f"classify:{name}"))
+        scheduler.add(f"estimate:{name}", estimate_stage,
+                      args=(name, config, target_probability,
+                            estimator_workers),
+                      deps=deps, stage="estimate", pool=pool)
+    results = scheduler.run(stats=stats)
+    suite = {}
+    for name in benchmarks:
+        result = results[f"estimate:{name}"]
+        suite[name] = result
+        if stats is not None:
+            stats.merge_counters(result.solver_stats)
+    return suite

@@ -1,4 +1,11 @@
-"""Offline compaction of the persistent store shards (``repro cache gc``).
+"""Offline maintenance of the persistent store shards.
+
+``repro cache gc`` compacts a cache directory in place;
+``repro cache export`` / ``repro cache import`` move the gc'd
+canonical shards between machines as one tarball, so CI farms and
+developer boxes can seed each other's caches — entries are
+content-addressed, so an import *merges* (new keys are appended as a
+fresh shard, existing keys are never clobbered).
 
 Both persistent stores — the solve store (``v<N>/``) and the
 classification store (``classify-v<N>/``) — are append-only: every
@@ -24,10 +31,15 @@ deterministic entries, never correctness, but its work is wasted).
 
 from __future__ import annotations
 
+import io
 import os
 import pathlib
+import tarfile
+import time
+import uuid
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 from repro.solve.store import (SolveStore, encode_shard_line,
                                parse_shard_line)
 
@@ -63,25 +75,42 @@ class CompactionReport:
                 f"({self.bytes_saved:+d} saved)")
 
 
-def compact_shard_dir(shard_dir: str | os.PathLike, *,
-                      dry_run: bool = False) -> CompactionReport | None:
-    """Fold one schema directory's shards; ``None`` if none exist."""
-    shard_dir = pathlib.Path(shard_dir)
+@dataclass(frozen=True)
+class _FoldedShards:
+    """Validated, deduplicated content of one schema directory."""
+
+    shards: tuple[pathlib.Path, ...]
+    entries: dict[tuple[str, str], object]
+    lines: int
+    bytes: int
+    duplicates: int
+    corrupt: int
+
+    def canonical_text(self) -> str:
+        """The entries re-encoded sorted by (kind, key) — the gc'd
+        canonical shard both compaction and export write."""
+        return "".join(
+            encode_shard_line(kind, key, self.entries[(kind, key)])
+            for kind, key in sorted(self.entries))
+
+
+def _fold_shards(shard_dir: pathlib.Path) -> _FoldedShards | None:
+    """Read and validate every shard of one schema directory."""
     shards = sorted(shard_dir.glob("shard-*.jsonl"))
     if not shards:
         return None
     entries: dict[tuple[str, str], object] = {}
-    lines_before = bytes_before = corrupt = duplicates = 0
+    lines = size = corrupt = duplicates = 0
     for shard in shards:
         try:
             text = shard.read_text(encoding="utf-8", errors="replace")
         except OSError:
             continue
-        bytes_before += len(text.encode("utf-8"))
+        size += len(text.encode("utf-8"))
         for line in text.splitlines():
             if not line.strip():
                 continue
-            lines_before += 1
+            lines += 1
             parsed = parse_shard_line(line)
             if parsed is None:
                 corrupt += 1
@@ -90,9 +119,20 @@ def compact_shard_dir(shard_dir: str | os.PathLike, *,
             if (kind, key) in entries:
                 duplicates += 1
             entries[(kind, key)] = value  # last occurrence wins, as on load
+    return _FoldedShards(shards=tuple(shards), entries=entries,
+                         lines=lines, bytes=size, duplicates=duplicates,
+                         corrupt=corrupt)
 
-    compacted = "".join(encode_shard_line(kind, key, entries[(kind, key)])
-                        for kind, key in sorted(entries))
+
+def compact_shard_dir(shard_dir: str | os.PathLike, *,
+                      dry_run: bool = False) -> CompactionReport | None:
+    """Fold one schema directory's shards; ``None`` if none exist."""
+    shard_dir = pathlib.Path(shard_dir)
+    folded = _fold_shards(shard_dir)
+    if folded is None:
+        return None
+    shards = folded.shards
+    compacted = folded.canonical_text()
     bytes_after = len(compacted.encode("utf-8"))
 
     if not dry_run:
@@ -107,9 +147,10 @@ def compact_shard_dir(shard_dir: str | os.PathLike, *,
                     pass
     return CompactionReport(
         directory=str(shard_dir), shards_before=len(shards),
-        lines_before=lines_before, bytes_before=bytes_before,
-        entries=len(entries), duplicates_dropped=duplicates,
-        corrupt_dropped=corrupt, bytes_after=bytes_after, dry_run=dry_run)
+        lines_before=folded.lines, bytes_before=folded.bytes,
+        entries=len(folded.entries), duplicates_dropped=folded.duplicates,
+        corrupt_dropped=folded.corrupt, bytes_after=bytes_after,
+        dry_run=dry_run)
 
 
 def collect_shard_dirs(root: str | os.PathLike) -> list[pathlib.Path]:
@@ -121,6 +162,172 @@ def collect_shard_dirs(root: str | os.PathLike) -> list[pathlib.Path]:
                   if path.is_dir()
                   and (path.name.startswith("v")
                        or path.name.startswith("classify-v")))
+
+
+@dataclass(frozen=True)
+class ExportReport:
+    """One schema directory packed into a cache tarball."""
+
+    directory: str
+    entries: int
+    bytes: int
+
+    def format_row(self) -> str:
+        return (f"{self.directory}: packed {self.entries} entr(ies), "
+                f"{self.bytes} bytes")
+
+
+@dataclass(frozen=True)
+class ImportReport:
+    """One schema directory merged from a cache tarball."""
+
+    directory: str
+    entries_seen: int
+    imported: int
+    already_present: int
+    conflicts_kept_local: int
+    corrupt_dropped: int
+
+    def format_row(self) -> str:
+        return (f"{self.directory}: imported {self.imported} of "
+                f"{self.entries_seen} entr(ies) "
+                f"({self.already_present} already present, "
+                f"{self.conflicts_kept_local} conflicting kept local, "
+                f"{self.corrupt_dropped} corrupt dropped)")
+
+
+def export_cache(tarball: str | os.PathLike,
+                 cache: str | None = None) -> list[ExportReport]:
+    """Pack the gc'd canonical shards of both stores into a tarball.
+
+    The live cache directory is read, validated and folded exactly
+    like ``repro cache gc`` would (corrupt lines dropped, duplicates
+    collapsed last-wins) but left untouched; the tarball holds one
+    canonical sorted shard per schema directory, so importing peers
+    get the same bytes however fragmented the exporter's store was.
+    """
+    store = SolveStore.resolve(cache)
+    if store is None:
+        raise ConfigurationError(
+            "cannot export: the persistent cache is disabled "
+            "(REPRO_SOLVE_CACHE=off)")
+    reports = []
+    with tarfile.open(tarball, "w:gz") as archive:
+        for shard_dir in collect_shard_dirs(store.root):
+            folded = _fold_shards(shard_dir)
+            if folded is None:
+                continue
+            payload = folded.canonical_text().encode("utf-8")
+            member = tarfile.TarInfo(
+                name=f"{shard_dir.name}/{GC_SHARD_NAME}")
+            member.size = len(payload)
+            member.mtime = int(time.time())
+            archive.addfile(member, io.BytesIO(payload))
+            reports.append(ExportReport(directory=shard_dir.name,
+                                        entries=len(folded.entries),
+                                        bytes=len(payload)))
+    return reports
+
+
+def import_cache(tarball: str | os.PathLike,
+                 cache: str | None = None) -> list[ImportReport]:
+    """Merge a cache tarball into the local store, content-addressed.
+
+    Every shard line of the archive is validated like the stores do on
+    load (JSON shape + CRC-32); entries whose (kind, key) the local
+    store already holds are skipped — an import can add knowledge but
+    never clobber it (conflicting values for the same key keep the
+    local entry; content-addressed keys make that a corruption signal,
+    not a merge policy).  Novel entries are appended as one fresh
+    writer shard per schema directory, so a concurrent reader sees
+    either none or all of them and ``repro cache gc`` folds them in
+    later.
+    """
+    store = SolveStore.resolve(cache)
+    if store is None:
+        raise ConfigurationError(
+            "cannot import: the persistent cache is disabled "
+            "(REPRO_SOLVE_CACHE=off)")
+    root = pathlib.Path(store.root)
+    incoming: dict[str, dict[tuple[str, str], object]] = {}
+    corrupt: dict[str, int] = {}
+    with tarfile.open(tarball, "r:*") as archive:
+        for member in archive.getmembers():
+            if not member.isfile():
+                continue
+            parts = pathlib.PurePosixPath(member.name).parts
+            # Only <schema-dir>/<shard>.jsonl members are meaningful;
+            # anything else (paths escaping the root included) is
+            # ignored rather than extracted.
+            if len(parts) != 2 or not _is_schema_dir_name(parts[0]) \
+                    or not parts[1].endswith(".jsonl"):
+                continue
+            handle = archive.extractfile(member)
+            if handle is None:
+                continue
+            text = handle.read().decode("utf-8", errors="replace")
+            entries = incoming.setdefault(parts[0], {})
+            for line in text.splitlines():
+                if not line.strip():
+                    continue
+                parsed = parse_shard_line(line)
+                if parsed is None:
+                    corrupt[parts[0]] = corrupt.get(parts[0], 0) + 1
+                    continue
+                kind, key, value = parsed
+                entries[(kind, key)] = value
+    reports = []
+    for directory in sorted(incoming):
+        entries = incoming[directory]
+        shard_dir = root / directory
+        local = _fold_shards(shard_dir) if shard_dir.is_dir() else None
+        existing = local.entries if local is not None else {}
+        novel: list[str] = []
+        already = conflicts = 0
+        for (kind, key), value in sorted(entries.items()):
+            if (kind, key) in existing:
+                if existing[(kind, key)] == value:
+                    already += 1
+                else:
+                    conflicts += 1
+                continue
+            novel.append(encode_shard_line(kind, key, value))
+        if novel:
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            name = (f"shard-{time.time_ns():020d}-{os.getpid()}-"
+                    f"{uuid.uuid4().hex[:8]}-import.jsonl")
+            tmp = shard_dir / f".import-tmp-{os.getpid()}"
+            tmp.write_text("".join(novel), encoding="utf-8")
+            os.replace(tmp, shard_dir / name)
+        reports.append(ImportReport(
+            directory=directory, entries_seen=len(entries),
+            imported=len(novel), already_present=already,
+            conflicts_kept_local=conflicts,
+            corrupt_dropped=corrupt.get(directory, 0)))
+    _invalidate_handles(root)
+    return reports
+
+
+def _invalidate_handles(root: pathlib.Path) -> None:
+    """Force memoised store handles on ``root`` to rescan their shards,
+    so an import is visible to the importing process, not only to the
+    next one."""
+    from repro.analysis.store import ClassificationStore
+
+    for handle in (SolveStore.resolve(str(root)),
+                   ClassificationStore.resolve(str(root))):
+        if handle is not None:
+            handle.invalidate()
+
+
+def _is_schema_dir_name(name: str) -> bool:
+    """A plain ``v<N>`` / ``classify-v<N>`` directory name (no path
+    tricks — this gates what an archive may write into the cache)."""
+    if "/" in name or "\\" in name or name in (".", ".."):
+        return False
+    version = name[len("classify-v"):] if name.startswith("classify-v") \
+        else name[len("v"):] if name.startswith("v") else None
+    return version is not None and version.isdigit()
 
 
 def gc_cache(cache: str | None = None, *,

@@ -22,9 +22,13 @@ polytope) and mediates every objective solved against it:
 * **empty short-circuit** — a column with no degradable reference is
   0-penalty and never touches the solver;
 * **batching** — :meth:`SolvePlanner.prime` solves the unique
-  uncached requests of a whole sweep up front, optionally across a
-  ``concurrent.futures`` process pool (workers re-freeze the program
-  from a picklable :class:`~repro.solve.backend.ProgramSnapshot`).
+  uncached requests of a whole sweep up front; with ``workers > 1``
+  the batch fans out through the pipeline's shared
+  :class:`~repro.pipeline.scheduler.PipelineScheduler` pool (workers
+  re-freeze the program from a picklable
+  :class:`~repro.solve.backend.ProgramSnapshot`, memoised per planner
+  token), so solve batches and classification stage tasks share one
+  worker pool instead of each planner spinning its own.
 
 All shortcuts are value-preserving: planned results are bit-identical
 to solving every (set, fault count) ILP directly.
@@ -33,15 +37,15 @@ to solving every (set, fault count) ILP directly.
 from __future__ import annotations
 
 import math
+import uuid
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import SolverError
-from repro.solve.backend import ProgramSnapshot, ceil_bound, make_backend
+from repro.solve.backend import ceil_bound
 from repro.solve.request import SolveRequest
 from repro.solve.store import SolveStore, solve_key
 
@@ -121,6 +125,14 @@ class SolvePlanner:
         #: pre-screen); ``None`` falls back to the program's declared
         #: variable upper bounds.
         self.variable_bound = variable_bound
+        #: Solve executor for batched priming: anything with the
+        #: :meth:`~repro.pipeline.scheduler.PipelineScheduler
+        #: .map_solves` shape.  The estimator wires its pipeline
+        #: scheduler here so solve batches land on the same pool as
+        #: the classification stages; ``None`` creates one on demand.
+        self.executor = None
+        #: Keys this planner's snapshot in pool workers' backend memo.
+        self._token = uuid.uuid4().hex
         self.stats = SolveStats()
         self._results: dict[object, int] = {}
         self._relaxed_bounds: dict[object, int] = {}
@@ -400,11 +412,15 @@ class SolvePlanner:
         payload = [(request.objective, request.relaxed)
                    for request in pending]
         chunk = max(1, len(payload) // (workers * 4))
-        with ProcessPoolExecutor(
-                max_workers=min(workers, len(payload)),
-                initializer=_pool_initializer,
-                initargs=(snapshot,)) as pool:
-            values = list(pool.map(_pool_solve, payload, chunksize=chunk))
+        executor = self.executor
+        if executor is None:
+            # Lazy import: repro.solve is imported by the pipeline's
+            # stage modules; creating the scheduler on first pooled
+            # prime keeps the package graph acyclic.
+            from repro.pipeline.scheduler import PipelineScheduler
+            executor = self.executor = PipelineScheduler(workers=workers)
+        values = executor.map_solves(self._token, snapshot, payload,
+                                     chunksize=chunk, workers=workers)
         for request, value in zip(pending, values):
             self._results[request.key] = value
             self._primed.add(request.key)
@@ -413,21 +429,3 @@ class SolvePlanner:
                 self.stats.lp_solved += 1
             else:
                 self.stats.ilp_solved += 1
-
-
-#: Backend rebuilt once per pool worker from the pickled snapshot.
-_WORKER_BACKEND = None
-
-
-def _pool_initializer(snapshot: ProgramSnapshot) -> None:
-    global _WORKER_BACKEND
-    _WORKER_BACKEND = make_backend(snapshot)
-
-
-def _pool_solve(item: tuple[tuple[tuple[int, float], ...], bool]) -> int:
-    objective, relaxed = item
-    value, _ = _WORKER_BACKEND.solve(dict(objective), sign=-1.0,
-                                     relaxed=relaxed)
-    if relaxed:
-        return ceil_bound(value)
-    return int(round(value))

@@ -41,6 +41,7 @@ import hashlib
 import json
 import os
 import pathlib
+import time
 import uuid
 import zlib
 from dataclasses import dataclass, field
@@ -207,7 +208,13 @@ class ShardedStore:
         try:
             if self._shard is None:
                 self._shard_dir.mkdir(parents=True, exist_ok=True)
-                name = f"shard-{os.getpid()}-{uuid.uuid4().hex[:8]}.jsonl"
+                # Zero-padded creation time first: shards sort (and
+                # load) oldest-first, so "last occurrence wins" means
+                # *newest* wins deterministically — a repair entry
+                # appended after a corrupt one reliably overrides it.
+                # (The gc shard's all-zero prefix keeps sorting first.)
+                name = (f"shard-{time.time_ns():020d}-{os.getpid()}-"
+                        f"{uuid.uuid4().hex[:8]}.jsonl")
                 # O_APPEND + one os.write per line: concurrent writers
                 # interleave whole lines, never bytes.
                 self._shard = os.open(self._shard_dir / name,
@@ -219,6 +226,14 @@ class ShardedStore:
             # A read-only or full cache directory degrades to in-memory
             # caching; never fail the estimation over persistence.
             return False
+
+    def invalidate(self) -> None:
+        """Drop the in-memory index; the next read rescans every shard.
+
+        The hook external shard writers (``repro cache import``) use
+        to make new entries visible to already-memoised handles.
+        """
+        self._loaded = False
 
     def close(self) -> None:
         if self._shard is not None:

@@ -9,22 +9,26 @@ all cells along the pfail axis of one geometry, which share every ILP
 objective *and* every classification table — are answered from the
 caches instead of recomputed.
 
-Whole grid cells can also fan out over a process pool
-(``run_sweep(cell_workers=N)`` / ``repro sweep --workers N``).  Cells
-are grouped by geometry so the pfail-axis reuse stays in-process, the
-two disk stores dedup across workers, and completed cells *stream*
-back through the ``on_cell`` callback as they finish — the CLI renders
-incremental progress while the final report stays byte-identical to
-the sequential path (results are assembled in deterministic grid
-order, and each worker computes exactly what the sequential loop
-would).
+Execution goes through the unified pipeline scheduler
+(:class:`~repro.pipeline.scheduler.PipelineScheduler`): sequentially
+the grid cells run as inline DAG tasks in grid order; with
+``run_sweep(cell_workers=N)`` / ``repro sweep --workers N`` whole
+geometry groups become pool tasks on the scheduler's shared worker
+pool.  Cells are grouped by geometry so the pfail-axis reuse stays
+in-process, the two disk stores dedup across workers, and completed
+cells *stream* back through the ``on_cell`` callback as they finish —
+the CLI renders incremental progress while the final report stays
+byte-identical to the sequential path (results are assembled in
+deterministic grid order, and each worker computes exactly what the
+sequential loop would).
 """
 
 from __future__ import annotations
 
 import statistics
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
+
+from repro.pipeline.scheduler import PipelineScheduler
 
 from repro.hwcost.model import MechanismCostModel
 from repro.pwcet import EstimatorConfig
@@ -215,30 +219,42 @@ def run_sweep(geometries=None, *,
         # fan-out inside each group (bit-identical either way); an
         # explicit `workers` request keeps at least that inner width.
         inner_workers = max(workers or 1, cell_workers // len(geometries))
-        items = [(geometry, pfails, benchmarks, config, probability,
-                  inner_workers)
-                 for geometry in geometries]
-        with ProcessPoolExecutor(
-                max_workers=min(cell_workers, len(items))) as pool:
-            pending = {pool.submit(_run_cell_group, item) for item in items}
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    for cell, results in future.result():
-                        finish(cell, results)
+        scheduler = PipelineScheduler(workers=cell_workers)
+        for position, geometry in enumerate(geometries):
+            scheduler.add(
+                f"cells:{position}", _run_cell_group,
+                args=((geometry, pfails, benchmarks, config, probability,
+                       inner_workers),),
+                stage="sweep-cells", pool=True)
+
+        def group_done(_key, group, _completed, _total):
+            for cell, results in group:
+                finish(cell, results)
+
+        scheduler.run(on_task=group_done)
     else:
         if workers is None and cell_workers > 1:
             # A single-geometry grid leaves nothing to fan out at cell
             # level; spend the requested width on benchmarks instead
             # of silently dropping it.
             workers = cell_workers
+        scheduler = PipelineScheduler(workers=1)
+        for position, cell in enumerate(cells):
+            cell_config = replace(config, geometry=cell.geometry,
+                                  pfail=cell.pfail)
+
+            def run_cell(cell=cell, cell_config=cell_config):
+                return (cell, run_suite(cell_config, benchmarks=benchmarks,
+                                        workers=workers,
+                                        target_probability=probability))
+
+            scheduler.add(f"cell:{position}", run_cell, stage="sweep-cell")
+
+        def cell_done(_key, value, _completed, _total):
+            finish(*value)
+
         with fresh_results():
-            for cell in cells:
-                cell_config = replace(config, geometry=cell.geometry,
-                                      pfail=cell.pfail)
-                finish(cell, run_suite(cell_config, benchmarks=benchmarks,
-                                       workers=workers,
-                                       target_probability=probability))
+            scheduler.run(on_task=cell_done)
 
     # Deterministic assembly: grid order, regardless of completion order.
     points: list[DesignPoint] = []

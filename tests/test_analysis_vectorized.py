@@ -169,3 +169,31 @@ class TestEngineMechanics:
                                  all_references(cfg, geometry))
         ages = engine.must_ages()
         assert all(block.dtype == np.int8 for block in ages.values())
+
+
+class TestPerSetEarlyExit:
+    """The segmented worklist: converged sets leave the fixpoint early."""
+
+    def test_converged_segments_are_blanked(self):
+        """On a multi-set suite benchmark some sets converge before
+        others, so the engine must skip segment-visits — while the
+        resulting tables stay equal to the dict oracle's (covered by
+        the equivalence suites above)."""
+        cfg = load("crc").cfg
+        geometry = CacheGeometry.from_size(1024, 4, 16)
+        engine = AgeVectorEngine(cfg, geometry,
+                                 all_references(cfg, geometry))
+        engine.must_ages()
+        engine.may_ages()
+        assert engine.segments_blanked > 0
+
+    def test_single_set_geometry_has_nothing_to_blank(self):
+        """With one cache set there is a single segment: every visit
+        is a full visit and the early exit never fires."""
+        cfg = load("fibcall").cfg
+        geometry = CacheGeometry(sets=1, ways=4, block_bytes=16)
+        engine = AgeVectorEngine(cfg, geometry,
+                                 all_references(cfg, geometry))
+        engine.must_ages()
+        engine.may_ages()
+        assert engine.segments_blanked == 0

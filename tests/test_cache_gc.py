@@ -139,3 +139,129 @@ class TestCli:
         assert main(["cache", "gc",
                      "--cache", str(tmp_path / "empty")]) == 0
         assert "nothing to compact" in capsys.readouterr().out
+
+
+class TestExportImport:
+    """`repro cache export/import`: store sharing across machines."""
+
+    def test_round_trip_seeds_a_fresh_machine(self, tmp_path):
+        from repro.solve.gc import export_cache, import_cache
+        source = tmp_path / "machine-a"
+        target = tmp_path / "machine-b"
+        tarball = tmp_path / "seed.tar.gz"
+        _populate_both_stores(source)
+
+        exported = export_cache(tarball, str(source))
+        assert {report.directory for report in exported} == \
+            {"v1", "classify-v1"}
+        assert all(report.entries > 0 for report in exported)
+        # The live source store is packed, never modified.
+        assert not list(source.glob(f"*/{GC_SHARD_NAME}"))
+
+        imported = import_cache(tarball, str(target))
+        assert sum(report.imported for report in imported) == \
+            sum(report.entries for report in exported)
+
+        # Machine B is now fully warm: zero fixpoints, zero ILPs.
+        estimator = PWCETEstimator(load("fibcall"),
+                                   EstimatorConfig(cache=str(target)),
+                                   name="fibcall")
+        for mechanism in ("none", "srb", "rw"):
+            estimator.estimate(mechanism)
+        summary = estimator.stats_summary()
+        assert summary["fixpoints_run"] == 0
+        assert summary["ilp_solved"] == 0
+        assert summary["lp_solved"] == 0
+
+    def test_import_is_idempotent_and_merges(self, tmp_path):
+        from repro.solve.gc import export_cache, import_cache
+        source = tmp_path / "src"
+        target = tmp_path / "dst"
+        tarball = tmp_path / "seed.tar.gz"
+        _populate_both_stores(source)
+        export_cache(tarball, str(source))
+        first = import_cache(tarball, str(target))
+        again = import_cache(tarball, str(target))
+        assert sum(report.imported for report in first) > 0
+        assert sum(report.imported for report in again) == 0
+        assert sum(report.already_present for report in again) == \
+            sum(report.imported for report in first)
+        # Exactly one import shard per schema directory: the rerun
+        # appended nothing.
+        for directory in ("v1", "classify-v1"):
+            shards = list((target / directory).glob("shard-*.jsonl"))
+            assert len(shards) == 1
+
+    def test_import_never_clobbers_local_entries(self, tmp_path):
+        from repro.solve.gc import export_cache, import_cache
+        source = tmp_path / "src"
+        target = tmp_path / "dst"
+        tarball = tmp_path / "seed.tar.gz"
+        key = solve_key("ctx", [("x", 1.0)], False)
+        remote = SolveStore(source)
+        remote.put(key, 41)
+        remote.close()
+        local = SolveStore(target)
+        local.put(key, 99)  # disagreeing local value
+        local.put(solve_key("ctx", [("y", 1.0)], False), 7)
+        local.close()
+        export_cache(tarball, str(source))
+        reports = import_cache(tarball, str(target))
+        (report,) = reports
+        assert report.conflicts_kept_local == 1
+        assert report.imported == 0
+        assert SolveStore(target).get(key) == 99  # local wins
+
+    def test_import_validates_lines_and_member_paths(self, tmp_path):
+        import io
+        import tarfile
+
+        from repro.solve.gc import import_cache
+        from repro.solve.store import encode_shard_line
+        tarball = tmp_path / "seed.tar.gz"
+        good = encode_shard_line("solve", "a" * 64, 5)
+        with tarfile.open(tarball, "w:gz") as archive:
+            def add(name, text):
+                payload = text.encode("utf-8")
+                member = tarfile.TarInfo(name=name)
+                member.size = len(payload)
+                archive.addfile(member, io.BytesIO(payload))
+            add("v1/shard-0-ok.jsonl", good + "garbage line\n")
+            add("../escape/shard-0-evil.jsonl", good)
+            add("notastore/shard-0-alien.jsonl", good)
+        target = tmp_path / "dst"
+        reports = import_cache(tarball, str(target))
+        (report,) = reports  # only the valid v1 member was considered
+        assert report.directory == "v1"
+        assert report.imported == 1
+        assert report.corrupt_dropped == 1
+        assert not (tmp_path / "escape").exists()
+        assert SolveStore(target).get("a" * 64) == 5
+
+    def test_export_disabled_cache_raises(self, tmp_path):
+        import pytest
+
+        from repro.errors import ConfigurationError
+        from repro.solve.gc import export_cache, import_cache
+        with pytest.raises(ConfigurationError):
+            export_cache(tmp_path / "x.tar.gz", "off")
+        with pytest.raises(ConfigurationError):
+            import_cache(tmp_path / "x.tar.gz", "off")
+
+    def test_cli_export_import_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+        _populate_both_stores(tmp_path / "src")
+        tarball = str(tmp_path / "seed.tar.gz")
+        assert main(["cache", "export", tarball,
+                     "--cache", str(tmp_path / "src")]) == 0
+        assert "packed" in capsys.readouterr().out
+        assert main(["cache", "import", tarball,
+                     "--cache", str(tmp_path / "dst")]) == 0
+        assert "merged" in capsys.readouterr().out
+        # Empty archive edge: exporting an empty store packs nothing.
+        assert main(["cache", "export", str(tmp_path / "empty.tar.gz"),
+                     "--cache", str(tmp_path / "nothing")]) == 0
+        assert "nothing to pack" in capsys.readouterr().out
+        assert main(["cache", "import", str(tmp_path / "empty.tar.gz"),
+                     "--cache", str(tmp_path / "dst")]) == 0
+        assert "no store shards" in capsys.readouterr().out
