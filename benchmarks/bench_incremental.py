@@ -1,0 +1,126 @@
+"""BENCH-INCREMENTAL — the cell-granular DAG's invalidation payoff.
+
+Measures the tentpole property of PR 6 on the full 25-benchmark suite:
+
+* *cold* — empty cache directory: every (mechanism, pfail) cell is
+  computed and persisted to the cell store;
+* *warm* — identical rerun: the scheduler's plan pass satisfies all 75
+  cells from the store by content address; no solve stage runs at all;
+* *one edit* — one suite program's CFG changes (the same semantic edit
+  the CI ``incremental`` job applies to ``crc`` with sed): only that
+  benchmark's classify/solve/cell stages recompute, the other 24
+  benchmarks stay satisfied-from-store — so the rerun costs a small
+  fraction of the cold run (acceptance: <= 1/5).
+
+Exports ``BENCH_incremental.json`` (cold/warm/one-edit wall-clock and
+the cell counters) under ``benchmarks/results/``.  The harness owns a
+private store directory under ``benchmarks/.solvecache/`` (gitignored)
+and wipes it before the cold pass.
+"""
+
+import json
+import pathlib
+import shutil
+import time
+
+import repro.suite as suite
+from repro.experiments.runner import fresh_results, run_suite
+from repro.minic import (Call, Compute, Function, If, Loop, Program,
+                         compile_program)
+from repro.pipeline import PipelineStats
+from repro.pwcet import EstimatorConfig
+from repro.solve.backend import selected_backend_name
+from repro.suite import EVALUATED_BENCHMARKS
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+CACHE_DIR = pathlib.Path(__file__).parent / ".solvecache" / "bench_incremental"
+
+#: 25 benchmarks x 3 mechanisms x 1 pfail.
+TOTAL_CELLS = 3 * len(EVALUATED_BENCHMARKS)
+
+
+def _edited_crc() -> Program:
+    """The suite's ``crc`` builder with one instruction added to its
+    final block — the in-memory twin of the CI job's sed edit (a
+    comment-only edit would not change the CFG digest and must not
+    invalidate anything)."""
+    icrc1 = Function("icrc1", [
+        Loop(8, [
+            Compute(4, "shift"),
+            If([Compute(22, "xor polynomial")], [Compute(14, "plain shift")]),
+        ]),
+        Compute(3),
+    ])
+    main = Function("main", [
+        Compute(8, "message setup"),
+        Loop(256, [Compute(24, "table entry"), Call("icrc1"), Compute(2)]),
+        Loop(40, [
+            Compute(6, "fetch byte, index tables"),
+            If([Compute(5, "high-bit path")], [Compute(4, "low-bit path")]),
+        ]),
+        Compute(6, "final xor / swap (edited)"),
+    ])
+    return Program([main, icrc1], name="crc")
+
+
+def _run(config) -> tuple[PipelineStats, float]:
+    with fresh_results():
+        stats = PipelineStats()
+        start = time.perf_counter()
+        run_suite(config, pipeline_stats=stats)
+        return stats, time.perf_counter() - start
+
+
+def test_incremental_cold_warm_one_edit(benchmark, emit):
+    shutil.rmtree(CACHE_DIR, ignore_errors=True)
+    config = EstimatorConfig(cache=str(CACHE_DIR))
+
+    cold_stats, cold_seconds = _run(config)
+    assert cold_stats.cells_recomputed == TOTAL_CELLS
+    assert cold_stats.cells_from_store == 0
+
+    warm_stats, _ = benchmark.pedantic(_run, args=(config,),
+                                       rounds=3, iterations=1)
+    warm_seconds = min(benchmark.stats.stats.data)
+    assert warm_stats.cells_from_store == TOTAL_CELLS
+    assert warm_stats.cells_recomputed == 0
+    assert warm_stats.counters.get("ilp_solved", 0) == 0
+
+    # One program edited: swap crc's compiled form for the +1-
+    # instruction variant (new CFG digest, everything else untouched).
+    original = suite.load("crc")
+    edited = compile_program(_edited_crc())
+    assert edited.cfg.digest() != original.cfg.digest()
+    suite._COMPILED_CACHE["crc"] = edited
+    try:
+        edit_stats, edit_seconds = _run(config)
+    finally:
+        suite._COMPILED_CACHE["crc"] = original
+    assert edit_stats.cells_recomputed == 3
+    assert edit_stats.cells_from_store == TOTAL_CELLS - 3
+    assert edit_stats.tasks.get("classify") == 1
+    assert edit_stats.tasks.get("solve") == 1
+    # The acceptance bound: recomputing one edited benchmark costs at
+    # most a fifth of the cold 25-benchmark suite.
+    assert edit_seconds <= cold_seconds / 5
+
+    payload = {
+        "benchmarks": len(EVALUATED_BENCHMARKS),
+        "cells_total": TOTAL_CELLS,
+        "backend": selected_backend_name(),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "one_edit_seconds": edit_seconds,
+        "warm_speedup": cold_seconds / warm_seconds,
+        "one_edit_speedup": cold_seconds / edit_seconds,
+        "warm_cells_from_store": warm_stats.cells_from_store,
+        "one_edit_cells_recomputed": edit_stats.cells_recomputed,
+        "one_edit_cells_from_store": edit_stats.cells_from_store,
+        "stage_seconds_cold": {stage: round(seconds, 6)
+                               for stage, seconds in
+                               sorted(cold_stats.stage_seconds.items())},
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_incremental.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+    emit("incremental_cold_warm_one_edit", json.dumps(payload, indent=2))

@@ -4,7 +4,7 @@ Measures the tentpole property of the cross-run solve store: a *cold*
 sweep (empty cache directory) pays for every unique ILP once, a *warm*
 rerun of the identical grid performs **zero** backend ILP solves and
 reproduces every number bit for bit.  Exports the machine-readable
-``BENCH_sweep.json`` (cold/warm wall time, cache hit rate, grid size)
+``BENCH_sweep.json`` (cold/warm wall time, cell-store reuse, grid size)
 under ``benchmarks/results/`` and regenerates the Pareto-front
 artefact of the design-space sweep.
 
@@ -61,11 +61,15 @@ def test_sweep_cold_vs_warm(benchmark, emit):
     warm_seconds = min(benchmark.stats.stats.data)
     warm_totals = warm.solver_totals
 
-    # The acceptance property: a warm rerun never touches the backend,
-    # and every reported number matches the cold run exactly.
+    # The acceptance property: a warm rerun never touches the backend
+    # — every (mechanism, pfail) cell is satisfied straight from the
+    # persistent cell store (so no solve stage runs at all) — and
+    # every reported number matches the cold run exactly.
     assert warm_totals["ilp_solved"] == 0
     assert warm_totals["lp_solved"] == 0
-    assert warm_totals["store_hit_rate"] == 1.0
+    assert warm_totals["fixpoints_run"] == 0
+    assert warm_totals["cells_from_store"] == \
+        len(cold.cells()) * len(SUBSET) * 3
     assert len(warm.points) == len(cold.points)
     for before, after in zip(cold.points, warm.points):
         assert before == after
@@ -82,8 +86,7 @@ def test_sweep_cold_vs_warm(benchmark, emit):
         "warm_speedup": cold_seconds / warm_seconds,
         "cold_ilp_solved": int(cold_totals["ilp_solved"]),
         "warm_ilp_solved": int(warm_totals["ilp_solved"]),
-        "warm_store_hits": int(warm_totals["store_hits"]),
-        "warm_store_hit_rate": warm_totals["store_hit_rate"],
+        "warm_cells_from_store": int(warm_totals["cells_from_store"]),
         "dedup_hits": int(cold_totals["dedup_hits"]),
     }
     RESULTS_DIR.mkdir(exist_ok=True)

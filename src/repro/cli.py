@@ -13,7 +13,7 @@ Commands
 ``cache gc``   fold the persistent stores' append-only shards into
                one sorted, checksummed file each (``--dry-run`` for
                a statistics report only).
-``cache export``  pack the gc'd canonical shards of both stores into
+``cache export``  pack the gc'd canonical shards of every store into
                a tarball for another machine (the live cache is left
                untouched).
 ``cache import``  merge a cache tarball content-addressed: novel
@@ -126,6 +126,42 @@ def _command_tradeoff(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_only_cells(specs):
+    """``--only-cells mech=<name>,pfail=<p>`` → (mechanism, pfail) pairs.
+
+    Either key may be omitted (wildcard on that axis); the flag
+    repeats, and a cell is selected when any filter matches it.
+    """
+    filters = []
+    for spec in specs or ():
+        mechanism = None
+        pfail = None
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, separator, value = part.partition("=")
+            if not separator:
+                raise SystemExit(
+                    f"--only-cells: expected key=value, got {part!r} "
+                    "(use mech=<name>,pfail=<p>)")
+            if key == "mech":
+                mechanism = value
+            elif key == "pfail":
+                try:
+                    pfail = float(value)
+                except ValueError:
+                    raise SystemExit(f"--only-cells: pfail must be a "
+                                     f"number, got {value!r}") from None
+            else:
+                raise SystemExit(f"--only-cells: unknown key {key!r} "
+                                 "(use mech=<name>,pfail=<p>)")
+        if mechanism is None and pfail is None:
+            raise SystemExit(f"--only-cells: empty filter {spec!r}")
+        filters.append((mechanism, pfail))
+    return tuple(filters) or None
+
+
 def _command_sweep(arguments: argparse.Namespace) -> int:
     from repro.sweep import format_sweep_report, geometry_grid, run_sweep
     benchmarks = tuple(arguments.benchmarks or EVALUATED_BENCHMARKS)
@@ -160,6 +196,7 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
                        config=_config_from(arguments),
                        cell_workers=arguments.workers,
                        on_cell=stream_cell,
+                       only_cells=_parse_only_cells(arguments.only_cells),
                        probability=arguments.probability)
     text = format_sweep_report(result)
     if arguments.output:
@@ -288,6 +325,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "default: the --pfail value)")
     sweep.add_argument("--benchmarks", nargs="+", default=None,
                        help="suite subset (default: all 25)")
+    sweep.add_argument("--only-cells", action="append", default=None,
+                       metavar="mech=<name>,pfail=<p>",
+                       help="restrict the sweep to matching (mechanism, "
+                            "pfail) cells; either key may be omitted, "
+                            "the flag repeats, and selected sections "
+                            "stay byte-identical to the full run's")
     sweep.add_argument("--output", default=None,
                        help="write the report to a file")
     _add_config_arguments(sweep)
@@ -309,7 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "touching any shard")
     cache_gc.set_defaults(handler=_command_cache_gc)
     cache_export = cache_commands.add_parser(
-        "export", help="pack the gc'd canonical shards of both stores "
+        "export", help="pack the gc'd canonical shards of every store "
                        "into a tarball (the live cache is not modified)")
     cache_export.add_argument("tarball",
                               help="output tarball path (gzip-compressed)")

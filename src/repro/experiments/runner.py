@@ -67,15 +67,15 @@ _CACHE: dict[tuple[str, EstimatorConfig, float], BenchmarkResult] = {}
 
 
 def run_benchmark(name: str, config: EstimatorConfig | None = None, *,
-                  target_probability: float = TARGET_EXCEEDANCE
-                  ) -> BenchmarkResult:
+                  target_probability: float = TARGET_EXCEEDANCE,
+                  schedule: str = "cell") -> BenchmarkResult:
     """Full pipeline for one benchmark (memoised per configuration)."""
     if config is None:
         config = EstimatorConfig()
     key = (name, config, target_probability)
     if key not in _CACHE:
         _CACHE[key] = suite_pipeline((name,), config, target_probability,
-                                     workers=1)[name]
+                                     workers=1, schedule=schedule)[name]
     return _CACHE[key]
 
 
@@ -83,8 +83,8 @@ def run_suite(config: EstimatorConfig | None = None, *,
               target_probability: float = TARGET_EXCEEDANCE,
               benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
               workers: int | None = None,
-              pipeline_stats: PipelineStats | None = None
-              ) -> list[BenchmarkResult]:
+              pipeline_stats: PipelineStats | None = None,
+              schedule: str = "cell") -> list[BenchmarkResult]:
     """Run the whole 25-benchmark suite (Figure 4's input data).
 
     ``workers`` (default: the configuration's ``workers`` field) > 1
@@ -94,7 +94,10 @@ def run_suite(config: EstimatorConfig | None = None, *,
     outputs match the sequential path exactly while no worker idles on
     another benchmark's fixpoints.  ``pipeline_stats`` scopes the
     counters of exactly this invocation — benchmarks served from the
-    in-process memo contribute nothing to it.
+    in-process memo contribute nothing to it.  ``schedule`` selects
+    the cell-granular DAG (default; incremental via the persistent
+    cell store) or the monolithic per-benchmark reference schedule —
+    results are bit-identical either way.
     """
     if config is None:
         config = EstimatorConfig()
@@ -105,7 +108,8 @@ def run_suite(config: EstimatorConfig | None = None, *,
     if pending:
         computed = suite_pipeline(tuple(pending), config,
                                   target_probability,
-                                  workers=workers, stats=pipeline_stats)
+                                  workers=workers, stats=pipeline_stats,
+                                  schedule=schedule)
         for name in pending:
             _CACHE[(name, config, target_probability)] = computed[name]
     return [run_benchmark(name, config,

@@ -10,19 +10,29 @@ graph instead of a call stack:
 ``artifacts``
     Frozen stage outputs (:class:`CfgArtifact`,
     :class:`ClassificationArtifact`, :class:`SolveArtifact`,
-    :class:`FmmArtifact`, :class:`DistributionArtifact`), each keyed
-    by the digest its stage's persistent store already uses.
+    :class:`FmmArtifact`, :class:`DistributionArtifact`,
+    :class:`CellArtifact`), each keyed by the digest its stage's
+    persistent store already uses.
 
 ``scheduler``
     :class:`PipelineScheduler` — the dependency-DAG executor with one
     shared worker pool that interleaves classification fixpoints with
-    ILP solve batches across benchmarks, geometries and fault counts;
+    ILP solve batches across benchmarks, geometries and fault counts,
+    steals queued pool tasks into the parent when every worker is
+    busy, and runs an incremental-invalidation ``plan()`` pass that
+    satisfies content-addressed stages from their persistent stores;
     :class:`PipelineStats` — per-run merged solver + analysis
-    counters.
+    counters plus cell/from-store accounting and per-stage timings.
 
 ``stages``
-    Pool-safe stage task bodies and the suite DAG builder
-    (:func:`~repro.pipeline.stages.suite_pipeline`).
+    Pool-safe stage task bodies and the suite DAG builders
+    (:func:`~repro.pipeline.stages.suite_pipeline`,
+    :func:`~repro.pipeline.stages.benchmark_dag`).
+
+``cellstore``
+    :class:`~repro.pipeline.cellstore.CellStore` — the persistent,
+    content-addressed store of finished (mechanism, pfail) cells the
+    plan pass probes.
 
 The estimator (:mod:`repro.pwcet.estimator`), the suite runner
 (:mod:`repro.experiments.runner`) and the sweep service
@@ -30,14 +40,19 @@ The estimator (:mod:`repro.pwcet.estimator`), the suite runner
 outputs are bit-identical to the historical phase-barriered paths.
 """
 
-from repro.pipeline.artifacts import (CfgArtifact, ClassificationArtifact,
+from repro.pipeline.artifacts import (CELL_SCHEMA_VERSION, CellArtifact,
+                                      CfgArtifact, ClassificationArtifact,
                                       DistributionArtifact, FmmArtifact,
                                       SolveArtifact, StageArtifact)
 from repro.pipeline.scheduler import PipelineScheduler, PipelineStats
-from repro.pipeline.stages import (SUITE_MECHANISMS, classify_stage,
-                                   estimate_stage, suite_pipeline)
+from repro.pipeline.stages import (SUITE_MECHANISMS, benchmark_dag,
+                                   cell_stage, classify_stage,
+                                   estimate_stage, result_stage,
+                                   solve_stage, suite_pipeline)
 
 __all__ = [
+    "CELL_SCHEMA_VERSION",
+    "CellArtifact",
     "CfgArtifact",
     "ClassificationArtifact",
     "DistributionArtifact",
@@ -47,7 +62,11 @@ __all__ = [
     "PipelineScheduler",
     "PipelineStats",
     "SUITE_MECHANISMS",
+    "benchmark_dag",
+    "cell_stage",
     "classify_stage",
     "estimate_stage",
+    "result_stage",
+    "solve_stage",
     "suite_pipeline",
 ]

@@ -34,6 +34,13 @@ def _digest(*parts: object) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+#: Schema of persisted pWCET cells (:mod:`repro.pipeline.cellstore`).
+#: Folded into every :meth:`DistributionArtifact.derive_key` /
+#: :meth:`CellArtifact.derive_key`, so bumping it invalidates every
+#: stored cell without touching the solve or classification stores.
+CELL_SCHEMA_VERSION = 1
+
+
 @dataclass(frozen=True)
 class StageArtifact:
     """Base of every stage output: the stage's content-address."""
@@ -122,9 +129,10 @@ class FmmArtifact(StageArtifact):
 class DistributionArtifact(StageArtifact):
     """Stage 4: the whole-cache fault penalty distribution (in misses).
 
-    ``key`` extends the FMM key with the fault probability, the first
-    parameter that is *not* part of any persistent store key — the
-    distribution is derived, never persisted.
+    ``key`` extends the FMM key with the fault probability and the
+    cell schema version — the digest over CFG digest × geometry ×
+    mechanism × pfail × schema that also addresses the persisted cell
+    (:class:`CellArtifact` shares the derivation).
     """
 
     mechanism: str
@@ -134,4 +142,32 @@ class DistributionArtifact(StageArtifact):
     @staticmethod
     def derive_key(store_context: str, mechanism: str,
                    pfail: float) -> str:
-        return _digest("distribution", store_context, mechanism, pfail)
+        return _digest("distribution", store_context, mechanism, pfail,
+                       CELL_SCHEMA_VERSION)
+
+
+@dataclass(frozen=True)
+class CellArtifact(StageArtifact):
+    """Stage 4': one finished (mechanism, pfail) estimation cell.
+
+    The cell-granular pipeline's unit of fan-out *and* of persistence:
+    ``key`` is the :meth:`DistributionArtifact.derive_key` digest (CFG
+    digest × geometry × timing × mechanism × pfail × schema), which is
+    exactly the key the :class:`~repro.pipeline.cellstore.CellStore`
+    persists the finished estimate under — `plan()` probes the store by
+    this address to satisfy up-stream-clean cells without running them.
+    """
+
+    mechanism: str
+    pfail: float
+    #: The finished :class:`~repro.pwcet.estimator.PWCETEstimate`.
+    estimate: object = field(repr=False)
+    #: Merged solver+analysis counters of the benchmark's solve stage,
+    #: carried by exactly one cell per benchmark (the others ``None``)
+    #: so downstream merges count each solve once.  ``None`` on every
+    #: store-served cell: a served cell ran nothing.
+    counters: dict | None = field(repr=False)
+    #: True when ``plan()`` answered this cell from the cell store.
+    from_store: bool = False
+
+    derive_key = staticmethod(DistributionArtifact.derive_key)

@@ -1,0 +1,145 @@
+"""Persistent, content-addressed store of finished estimation cells.
+
+The third disk-backed store of the pipeline, completing the stage
+coverage: the solve store persists ILP optima, the classification
+store persists CHMC tables, and this one persists whole *(mechanism,
+pfail)* cells — the cell-granular pipeline's unit of fan-out
+(:class:`~repro.pipeline.artifacts.CellArtifact`).  Keys are the
+:meth:`~repro.pipeline.artifacts.DistributionArtifact.derive_key`
+digest over CFG digest × geometry × timing × mechanism × pfail ×
+:data:`~repro.pipeline.artifacts.CELL_SCHEMA_VERSION`, so a persisted
+cell is addressed exactly like the running stage that would recompute
+it — ``PipelineScheduler.plan()`` probes this store by content address
+and marks up-stream-clean cells satisfied before any worker starts.
+
+Entries hold everything a :class:`~repro.pwcet.estimator.PWCETEstimate`
+needs (fault-free WCET, exact penalty pmf, exceedance correction, FMM
+rows), so a warm run reconstructs estimates without touching the
+solver, the analysis, or even the other two stores.  Values round-trip
+exactly: Python floats survive JSON encode/decode bit-for-bit, so a
+decoded cell is indistinguishable from a computed one.
+
+Storage shares the shard conventions of the sibling stores
+(append-only checksummed JSONL under ``cells-v<N>`` next to ``v<N>``
+and ``classify-v<N>``; same ``REPRO_SOLVE_CACHE`` / ``--cache`` knob;
+corrupt or foreign-schema entries degrade to recomputation).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DistributionError
+from repro.fmm import FaultMissMap
+from repro.pipeline.artifacts import CELL_SCHEMA_VERSION
+from repro.pwcet.distribution import DiscreteDistribution
+from repro.pwcet.estimator import PWCETEstimate
+from repro.solve.store import ShardedStore, SolveStore
+
+
+def encode_cell(estimate: PWCETEstimate) -> dict:
+    """JSON-serialisable form of one finished estimation cell."""
+    return {
+        "program": estimate.program_name,
+        "mechanism": estimate.mechanism_name,
+        "wcet": estimate.wcet_fault_free,
+        "pmf": [float(p) for p in estimate.penalty_misses.pmf],
+        "correction": float(estimate.exceedance_correction),
+        "fmm": [list(row) for row in estimate.fmm.rows],
+        "fmm_mechanism": estimate.fmm.mechanism_name,
+    }
+
+
+def decode_cell(value: object, *, name: str, mechanism: str,
+                config, pfail: float) -> PWCETEstimate | None:
+    """Inverse of :func:`encode_cell`; ``None`` on any malformation.
+
+    ``None`` degrades to recomputation, exactly like a corrupt shard
+    line — a truncated, bit-rotted or foreign entry can never become a
+    wrong estimate.  The caller supplies the estimation context
+    (name, mechanism, geometry, timing) because the key already binds
+    it; the embedded names are cross-checked as one more guard.
+    """
+    try:
+        if value["mechanism"] != mechanism:
+            return None
+        fmm = FaultMissMap(
+            geometry=config.geometry,
+            rows=tuple(tuple(int(cell) for cell in row)
+                       for row in value["fmm"]),
+            mechanism_name=str(value["fmm_mechanism"]))
+        return PWCETEstimate(
+            program_name=name,
+            mechanism_name=mechanism,
+            wcet_fault_free=int(value["wcet"]),
+            penalty_misses=DiscreteDistribution(
+                np.asarray(value["pmf"], dtype=np.float64),
+                normalized=False),
+            timing=config.timing,
+            fmm=fmm,
+            exceedance_correction=float(value["correction"]))
+    except (TypeError, ValueError, KeyError, ConfigurationError,
+            DistributionError):
+        return None
+
+
+#: Handles memoised per resolved root, like the sibling stores'.
+_RESOLVED: dict[str, "CellStore"] = {}
+
+
+class CellStore(ShardedStore):
+    """Disk-backed map of cell keys to encoded estimation cells."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        super().__init__(root, f"cells-v{CELL_SCHEMA_VERSION}")
+        self._entries: dict[str, object] = {}
+        self.corrupt_skipped = 0
+
+    @classmethod
+    def resolve(cls, override: str | None = None) -> "CellStore | None":
+        """The store selected by ``override`` or ``REPRO_SOLVE_CACHE``.
+
+        Same convention — and same *root* — as
+        :meth:`~repro.solve.store.SolveStore.resolve`: all three stores
+        live side by side under one cache directory.
+        """
+        solve_store = SolveStore.resolve(override)
+        if solve_store is None:
+            return None
+        key = os.path.abspath(solve_store.root)
+        store = _RESOLVED.get(key)
+        if store is None:
+            store = _RESOLVED[key] = cls(solve_store.root)
+        return store
+
+    # -- index hooks ---------------------------------------------------
+    def _reset_index(self) -> None:
+        self._entries = {}
+
+    def _index_entry(self, parsed: tuple[str, str, object] | None) -> None:
+        if parsed is None or parsed[0] != "cell":
+            self.corrupt_skipped += 1
+            return
+        _kind, key, value = parsed
+        self._entries[key] = value
+
+    # -- reads / writes ------------------------------------------------
+    def get(self, key: str) -> object | None:
+        self._ensure_loaded()
+        return self._entries.get(key)
+
+    def put(self, key: str, value: object) -> None:
+        self._ensure_loaded()
+        # Identical entries are skipped; a decode-failed occupant must
+        # still be overwritten so load-time last-wins repairs the
+        # store (same policy as the classification store).
+        if self._entries.get(key) == value:
+            return
+        self._entries[key] = value
+        self._append("cell", key, value)
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._entries)

@@ -14,16 +14,28 @@ Execution model
   callable, static args, dependency keys, and whether the task may run
   on the process pool.  Dependency results are appended to the task's
   positional arguments in declared order.
-* :meth:`run` executes the DAG.  Ready tasks are started in submission
-  order (a min-heap over the insertion index), which makes the
-  ``workers=1`` inline path a deterministic sequential program — the
-  property the bit-identity guarantees lean on — and makes a
-  dependent task (a solve) jump ahead of unrelated later stages the
-  moment its inputs are complete.
+* :meth:`run` first applies the *invalidation plan* (:meth:`plan`):
+  every task registered with a ``probe`` asks its persistent store by
+  content address, and probe hits whose results are still demanded are
+  completed from the store before any worker starts — while tasks
+  nobody demands any more (their only dependents were all satisfied)
+  are skipped outright.  Editing one suite program therefore
+  recomputes only that benchmark's stages; everything else is
+  satisfied-from-store.
+* Ready tasks are dispatched in ``(order key, insertion index)``
+  order — stage tasks carry their *artifact key* as the order key, so
+  dispatch order (and with it the streamed progress and merged
+  counters) is reproducible across runs and Python hash seeds.  The
+  ``workers=1`` inline path is thereby a deterministic sequential
+  program — the property the bit-identity guarantees lean on.
 * At most ``workers`` pool tasks are in flight; the scheduler keeps
   the rest queued itself instead of handing them to the executor, so
-  a freshly unblocked low-index task is never stuck behind a wall of
-  queued high-index ones.
+  a freshly unblocked low-order task is never stuck behind a wall of
+  queued high-order ones.  When every worker is busy and no inline
+  task is ready, the parent *steals* the next queued pool task and
+  runs it in-process — small cells of one benchmark backfill the
+  otherwise-idle parent while another benchmark's long ILP batch
+  occupies the pool.
 * Inline tasks (closures over in-process state — the estimator's own
   stages) run in the parent while pool futures are outstanding.
 
@@ -67,6 +79,13 @@ class PipelineStats:
 
     #: Completed tasks per stage name.
     tasks: dict[str, int] = field(default_factory=dict)
+    #: Tasks satisfied from a persistent store by the plan pass,
+    #: per stage name — these never ran.
+    from_store: dict[str, int] = field(default_factory=dict)
+    #: Wall-clock seconds spent *executing* each stage's tasks (pool
+    #: tasks report their in-worker time; concurrent stages therefore
+    #: sum to more than ``wall_seconds``).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
     #: Summed work counters of every stage (solver + analysis).
     counters: dict[str, float] = field(default_factory=dict)
     #: Wall-clock seconds spent inside :meth:`PipelineScheduler.run`.
@@ -74,6 +93,13 @@ class PipelineStats:
 
     def count_task(self, stage: str) -> None:
         self.tasks[stage] = self.tasks.get(stage, 0) + 1
+
+    def count_from_store(self, stage: str) -> None:
+        self.from_store[stage] = self.from_store.get(stage, 0) + 1
+
+    def add_stage_seconds(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] = (self.stage_seconds.get(stage, 0.0)
+                                     + seconds)
 
     def merge_counters(self, counters: dict[str, float] | None) -> None:
         """Fold one stage's counter dict in (rates are skipped)."""
@@ -93,6 +119,21 @@ class PipelineStats:
     def tasks_run(self) -> int:
         return sum(self.tasks.values())
 
+    # -- cell accounting (the "cell" stage of the cell-granular DAG) ---
+    @property
+    def cells_recomputed(self) -> int:
+        """(mechanism, pfail) cells that actually ran this run."""
+        return self.tasks.get("cell", 0)
+
+    @property
+    def cells_from_store(self) -> int:
+        """Cells the plan pass answered from the persistent cell store."""
+        return self.from_store.get("cell", 0)
+
+    @property
+    def cells_total(self) -> int:
+        return self.cells_recomputed + self.cells_from_store
+
 
 @dataclass
 class _Task:
@@ -103,11 +144,25 @@ class _Task:
     deps: tuple[str, ...]
     pool: bool
     index: int
+    #: Dispatch order within the ready set (before the insertion
+    #: index).  Stage tasks pass their artifact key so dispatch is
+    #: reproducible across hash seeds; the default ``""`` preserves
+    #: pure insertion order (and sorts ahead of any hex digest).
+    order: str = ""
+    #: Store probe of the plan pass: returns the finished result when
+    #: the stage's persistent store already holds it, else ``None``.
+    probe: Callable[[], object] | None = None
 
 
-def _run_pool_task(fn: Callable, args: tuple) -> object:
-    """Pool entry point for stage tasks (keeps ``fn`` a plain pickle)."""
-    return fn(*args)
+def _run_pool_task(fn: Callable, args: tuple) -> tuple[object, float]:
+    """Pool entry point for stage tasks (keeps ``fn`` a plain pickle).
+
+    Returns ``(value, seconds)`` so the parent can attribute in-worker
+    wall-clock to the task's stage.
+    """
+    started = time.perf_counter()
+    value = fn(*args)
+    return value, time.perf_counter() - started
 
 
 #: Worker-side backends rebuilt from program snapshots, memoised per
@@ -153,22 +208,107 @@ class PipelineScheduler:
     # -- DAG construction ----------------------------------------------
     def add(self, key: str, fn: Callable, *, args: tuple = (),
             deps: Sequence[str] = (), stage: str = "task",
-            pool: bool = False) -> str:
+            pool: bool = False, order_key: str | None = None,
+            probe: Callable[[], object] | None = None) -> str:
         """Register one stage task; returns ``key`` for chaining.
 
         ``fn`` is called as ``fn(*args, *dep_results)`` with dependency
         results in declared order.  ``pool=True`` allows execution on
         the process pool (``fn`` and every argument must pickle);
         forward references in ``deps`` are fine — the DAG is validated
-        at :meth:`run`.
+        at :meth:`run`.  ``order_key`` (conventionally the artifact
+        key) ranks the task within the ready set ahead of the insertion
+        index, making dispatch hash-seed independent; ``probe`` lets
+        the plan pass satisfy the task from its persistent store
+        (it returns the finished result, or ``None`` to run normally).
         """
         if key in self._tasks:
             raise PipelineError(f"duplicate pipeline task key {key!r}")
         self._tasks[key] = _Task(
             key=key, stage=stage, fn=fn, args=tuple(args),
             deps=tuple(deps), pool=bool(pool) and self.workers > 1,
-            index=len(self._tasks))
+            index=len(self._tasks),
+            order=order_key if order_key is not None else "",
+            probe=probe)
         return key
+
+    # -- planning -------------------------------------------------------
+    def _plan(self, tasks: dict[str, _Task]
+              ) -> tuple[dict[str, object], dict[str, bool],
+                         dict[str, bool]]:
+        """The incremental-invalidation pass over one task set.
+
+        Probes every probed task's persistent store by content
+        address, then walks the DAG in reverse topological order to
+        decide, per task: *satisfied* (probe hit — complete from store
+        without running), *run* (somebody still needs a fresh result),
+        or neither (skipped — every transitive dependent was
+        satisfied).  A task is demanded iff it is a sink or some
+        dependent will run; tasks on a cycle are conservatively left
+        to run so :meth:`run` reports the deadlock as before.
+
+        Returns ``(satisfied results, demanded flags, will-run
+        flags)`` keyed by task key.
+        """
+        for task in tasks.values():
+            for dep in task.deps:
+                if dep not in tasks:
+                    raise PipelineError(
+                        f"task {task.key!r} depends on unknown task "
+                        f"{dep!r}")
+        dependents: dict[str, list[str]] = {key: [] for key in tasks}
+        indegree: dict[str, int] = {}
+        for task in tasks.values():
+            indegree[task.key] = len(task.deps)
+            for dep in task.deps:
+                dependents[dep].append(task.key)
+        queue = [key for key, count in indegree.items() if count == 0]
+        order: list[str] = []
+        while queue:
+            key = queue.pop()
+            order.append(key)
+            for dependent in dependents[key]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    queue.append(dependent)
+        satisfied: dict[str, object] = {}
+        for key in order:
+            task = tasks[key]
+            if task.probe is not None:
+                value = task.probe()
+                if value is not None:
+                    satisfied[key] = value
+        demanded: dict[str, bool] = {}
+        will_run: dict[str, bool] = {}
+        if len(order) < len(tasks):
+            for key in set(tasks) - set(order):
+                demanded[key] = True  # cyclic: let run() raise
+                will_run[key] = True
+        for key in reversed(order):
+            demanded[key] = (not dependents[key]
+                             or any(will_run[dependent]
+                                    for dependent in dependents[key]))
+            will_run[key] = demanded[key] and key not in satisfied
+        return satisfied, demanded, will_run
+
+    def plan(self) -> dict[str, tuple[str, ...]]:
+        """Dry-run the invalidation pass over the pending task set.
+
+        Returns the keys partitioned into ``"from_store"`` (probe hits
+        that will be completed from their persistent store),
+        ``"run"`` (tasks that will execute), and ``"skipped"`` (tasks
+        no remaining dependent demands).  The task set is *not*
+        consumed; :meth:`run` re-applies the same pass.
+        """
+        satisfied, demanded, will_run = self._plan(self._tasks)
+        return {
+            "from_store": tuple(sorted(
+                key for key in satisfied if demanded[key])),
+            "run": tuple(sorted(
+                key for key, runs in will_run.items() if runs)),
+            "skipped": tuple(sorted(
+                key for key, need in demanded.items() if not need)),
+        }
 
     # -- execution ------------------------------------------------------
     def run(self, *, stats: PipelineStats | None = None,
@@ -188,41 +328,52 @@ class PipelineScheduler:
             stats = PipelineStats()
         self._running = True
         started = time.perf_counter()
-        for task in tasks.values():
-            for dep in task.deps:
-                if dep not in tasks:
-                    raise PipelineError(
-                        f"task {task.key!r} depends on unknown task "
-                        f"{dep!r}")
+        satisfied, demanded, _will_run = self._plan(tasks)
+        # Tasks nobody demands any more (every transitive dependent is
+        # satisfied from a store) are skipped outright.
+        tasks = {key: task for key, task in tasks.items()
+                 if demanded[key]}
 
         dependents: dict[str, list[str]] = {key: [] for key in tasks}
         missing: dict[str, int] = {}
         for task in tasks.values():
-            missing[task.key] = len(task.deps)
-            for dep in task.deps:
+            live = [dep for dep in task.deps if dep in tasks]
+            missing[task.key] = len(live)
+            for dep in live:
                 dependents[dep].append(task.key)
 
-        ready_pool: list[tuple[int, str]] = []
-        ready_inline: list[tuple[int, str]] = []
-        for task in tasks.values():
-            if missing[task.key] == 0:
-                heap = ready_pool if task.pool else ready_inline
-                heapq.heappush(heap, (task.index, task.key))
+        ready_pool: list[tuple[str, int, str]] = []
+        ready_inline: list[tuple[str, int, str]] = []
+
+        def push_ready(task: _Task) -> None:
+            heap = ready_pool if task.pool else ready_inline
+            heapq.heappush(heap, (task.order, task.index, task.key))
 
         results: dict[str, object] = {}
         in_flight: dict[Future, str] = {}
 
+        def unblock(key: str) -> None:
+            for dependent in dependents[key]:
+                missing[dependent] -= 1
+                if missing[dependent] == 0 \
+                        and dependent not in satisfied:
+                    push_ready(tasks[dependent])
+
         def complete(key: str, value: object) -> None:
             results[key] = value
             stats.count_task(tasks[key].stage)
-            for dependent in dependents[key]:
-                missing[dependent] -= 1
-                if missing[dependent] == 0:
-                    task = tasks[dependent]
-                    heap = ready_pool if task.pool else ready_inline
-                    heapq.heappush(heap, (task.index, task.key))
+            unblock(key)
             if on_task is not None:
                 on_task(key, value, len(results), len(tasks))
+
+        def run_inline(key: str) -> None:
+            task = tasks[key]
+            stage_started = time.perf_counter()
+            value = task.fn(*task.args,
+                            *(results[dep] for dep in task.deps))
+            stats.add_stage_seconds(
+                task.stage, time.perf_counter() - stage_started)
+            complete(key, value)
 
         def drain(block: bool) -> None:
             if not in_flight:
@@ -230,13 +381,33 @@ class PipelineScheduler:
             done, _ = wait(in_flight, return_when=FIRST_COMPLETED,
                            timeout=None if block else 0)
             for future in done:
-                complete(in_flight.pop(future), future.result())
+                key = in_flight.pop(future)
+                value, seconds = future.result()
+                stats.add_stage_seconds(tasks[key].stage, seconds)
+                complete(key, value)
+
+        # Initially-ready runnable tasks first (their missing count is
+        # 0 from the start, so the unblock path below never re-pushes
+        # them), then satisfied tasks complete from their stores
+        # before any worker starts — dependents see the decoded
+        # results verbatim and are pushed exactly once, by unblock.
+        for task in tasks.values():
+            if missing[task.key] == 0 and task.key not in satisfied:
+                push_ready(task)
+        for key in sorted(satisfied,
+                          key=lambda k: (tasks[k].order, tasks[k].index)
+                          if k in tasks else ("", -1)):
+            if key not in tasks:
+                continue  # satisfied but undemanded: skipped entirely
+            results[key] = satisfied[key]
+            stats.count_from_store(tasks[key].stage)
+            unblock(key)
 
         try:
             while len(results) < len(tasks):
                 drain(block=False)
                 while ready_pool and len(in_flight) < self.workers:
-                    _, key = heapq.heappop(ready_pool)
+                    _, _, key = heapq.heappop(ready_pool)
                     task = tasks[key]
                     payload = task.args + tuple(results[dep]
                                                 for dep in task.deps)
@@ -244,11 +415,14 @@ class PipelineScheduler:
                         _run_pool_task, task.fn, payload)
                     in_flight[future] = key
                 if ready_inline:
-                    _, key = heapq.heappop(ready_inline)
-                    task = tasks[key]
-                    complete(key, task.fn(*task.args,
-                                          *(results[dep]
-                                            for dep in task.deps)))
+                    _, _, key = heapq.heappop(ready_inline)
+                    run_inline(key)
+                elif ready_pool:
+                    # Every worker is busy and more pool tasks are
+                    # queued: steal the next one and run it here
+                    # instead of idling until a future resolves.
+                    _, _, key = heapq.heappop(ready_pool)
+                    run_inline(key)
                 elif in_flight:
                     drain(block=True)
                 elif len(results) < len(tasks):

@@ -11,38 +11,62 @@ These are the module-level task bodies the
     associativities the requested mechanisms will degrade to, plus the
     SRB hit set when a mechanism consults the buffer.
 
+``solve_stage``
+    (program, classification artifact) → :class:`SolveOutput`: the
+    fault-free WCET plus every requested mechanism's Fault Miss Map,
+    with the benchmark's merged solver+analysis counters.  Every ILP
+    goes through the :class:`~repro.solve.store.SolveStore`
+    read/write-through planner.
+
+``cell_stage``
+    (solve output) → :class:`~repro.pipeline.artifacts.CellArtifact`:
+    one *(mechanism, pfail)* estimation cell — penalty convolution and
+    the finished :class:`~repro.pwcet.estimator.PWCETEstimate` —
+    written through the :class:`~repro.pipeline.cellstore.CellStore`
+    under its content address, so the scheduler's plan pass can
+    satisfy the cell from the store on the next run.
+
+``result_stage``
+    (cells) → :class:`~repro.experiments.runner.BenchmarkResult`:
+    reassembles one benchmark's cells into the paper-facing result.
+
 ``estimate_stage``
-    (program, classification artifact) →
-    :class:`~repro.experiments.runner.BenchmarkResult`.  Seeds a fresh
-    estimator with the artifact's tables (zero further fixpoints) and
-    runs the WCET + FMM + distribution stages; every ILP goes through
-    the :class:`~repro.solve.store.SolveStore` read/write-through
-    planner.
+    The pre-cell monolithic stage (WCET + FMM + distributions of one
+    benchmark in one task), kept as the per-benchmark reference
+    schedule (``schedule="benchmark"``) that the cell-granular DAG is
+    property-tested bit-identical against.
 
 ``suite_pipeline``
-    Builds and runs the benchmark-suite DAG: one classify and one
-    estimate task per benchmark, dependency-chained, all on one shared
-    pool — so solve stages of early benchmarks overlap the
-    classification of later ones instead of waiting on a phase
-    barrier.  A ``phase_barrier=True`` mode (every estimate waits for
-    *every* classification) exists solely as the benchmarking baseline.
+    Builds and runs the benchmark-suite DAG: per benchmark a classify,
+    a solve, one cell per (mechanism, pfail) and a result task,
+    dependency-chained, all on one shared pool — so solve stages of
+    early benchmarks overlap the classification of later ones, and
+    small cells backfill workers (or the parent, by work stealing)
+    idling on another benchmark's long ILP batch.  A
+    ``phase_barrier=True`` mode (every estimate waits for *every*
+    classification) exists solely as the benchmarking baseline.
 
 The stage split is counter-transparent: an artifact-seeded estimator
 performs no classification work and no classification-store traffic,
-so the merged per-benchmark counters (classify stage + estimate stage)
-are identical to the historical fused run — which keeps suite and
-sweep reports bit-identical.
+and the distribution/estimate work of the cell stages touches no
+counters at all, so the merged per-benchmark counters are identical
+to the historical fused run — which keeps suite and sweep reports
+bit-identical across schedules and worker modes.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 
 from repro.analysis import CacheAnalysis
 from repro.analysis.store import classification_key
-from repro.pipeline.artifacts import CfgArtifact, ClassificationArtifact
+from repro.faults import FaultProbabilityModel
+from repro.pipeline.artifacts import (CellArtifact, CfgArtifact,
+                                      ClassificationArtifact,
+                                      DistributionArtifact)
 from repro.pipeline.scheduler import PipelineScheduler, PipelineStats
 from repro.reliability import ReliabilityMechanism, mechanism_by_name
+from repro.solve.store import store_context
 from repro.suite import load
 
 #: The paper's three configurations, in presentation order — the
@@ -182,45 +206,281 @@ def _merged_counters(summary: dict[str, float],
     return merged
 
 
+def _refresh_stores(cache) -> None:
+    """Fold fresh shard writes into this process' store handles.
+
+    Called at pooled/stolen stage entry so entries written by sibling
+    workers since the handle's last load are visible before the stage
+    reads or writes — the cross-process analogue of PR 5's
+    handle-per-run discipline.  Keys are benchmark-scoped (every store
+    key embeds the CFG digest), so the visibility set can never change
+    a stage's own hit counters — only spare it duplicate writes.
+    """
+    from repro.analysis.store import ClassificationStore
+    from repro.pipeline.cellstore import CellStore
+    from repro.solve.store import SolveStore
+
+    for store in (SolveStore.resolve(cache),
+                  ClassificationStore.resolve(cache),
+                  CellStore.resolve(cache)):
+        if store is not None:
+            store.refresh()
+
+
+@dataclass(frozen=True)
+class SolveOutput:
+    """Pool-safe output of one benchmark's solve stage.
+
+    Everything the benchmark's cells fan out over: the fault-free
+    WCET, one Fault Miss Map per requested mechanism, and the merged
+    solver+analysis counters of the classify+solve work (each cell
+    carries a reference to the same dict; the result stage counts it
+    once).
+    """
+
+    name: str
+    wcet_cycles: int
+    fmms: dict[str, object] = field(repr=False)
+    counters: dict[str, float] = field(repr=False)
+
+
+def solve_stage(name: str, config, mechanisms, estimator_workers: int,
+                refresh: bool, artifact: ClassificationArtifact
+                ) -> SolveOutput:
+    """Stage task: WCET + FMM solves of one benchmark.
+
+    The solver-facing prefix of the historical ``estimate_stage``:
+    identical store traffic in identical order (WCET first, then each
+    mechanism's FMM), stopping before the distribution work — which
+    the per-(mechanism, pfail) cell stages own in the cell-granular
+    schedule.  ``refresh`` folds sibling workers' shard writes in
+    first (pool mode only).
+    """
+    from repro.pwcet import PWCETEstimator
+
+    if refresh:
+        _refresh_stores(config.cache)
+    stage_config = replace(config, workers=estimator_workers)
+    if artifact.analysis is not None:
+        estimator = PWCETEstimator(artifact.analysis.cfg, stage_config,
+                                   name=name, analysis=artifact.analysis)
+        stage_stats: dict[str, float] = {}
+    else:
+        estimator = PWCETEstimator(load(name), stage_config, name=name)
+        estimator.analysis.preload(artifact.tables, artifact.srb_hits)
+        stage_stats = artifact.stats
+    wcet = estimator.fault_free_wcet()
+    fmms = {mechanism: estimator.fault_miss_map(mechanism)
+            for mechanism in mechanisms}
+    return SolveOutput(
+        name=name, wcet_cycles=wcet, fmms=fmms,
+        counters=_merged_counters(estimator.stats_summary(), stage_stats))
+
+
+def cell_stage(name: str, mechanism_name: str, pfail: float, config,
+               cell_key: str, refresh: bool,
+               solve_output: SolveOutput) -> CellArtifact:
+    """Stage task: one (mechanism, pfail) estimation cell.
+
+    Pure derivation from the solve output — penalty convolution via
+    the same :func:`~repro.pwcet.estimator.penalty_distribution` the
+    estimator uses, so the estimate is bit-identical to the fused
+    path's — written through the cell store under ``cell_key`` for the
+    next run's plan pass to find.
+    """
+    from repro.pipeline.cellstore import CellStore, encode_cell
+    from repro.pwcet.estimator import PWCETEstimate, penalty_distribution
+
+    if refresh:
+        _refresh_stores(config.cache)
+    mechanism = mechanism_by_name(mechanism_name)
+    model = FaultProbabilityModel(geometry=config.geometry, pfail=pfail)
+    fmm = solve_output.fmms[mechanism_name]
+    sets = config.geometry.sets
+    estimate = PWCETEstimate(
+        program_name=name,
+        mechanism_name=mechanism_name,
+        wcet_fault_free=solve_output.wcet_cycles,
+        penalty_misses=penalty_distribution(fmm, mechanism, model, sets),
+        timing=config.timing,
+        fmm=fmm,
+        exceedance_correction=mechanism.exceedance_correction(model, sets))
+    store = CellStore.resolve(config.cache)
+    if store is not None:
+        store.put(cell_key, encode_cell(estimate))
+    return CellArtifact(key=cell_key, mechanism=mechanism_name,
+                        pfail=pfail, estimate=estimate,
+                        counters=solve_output.counters, from_store=False)
+
+
+def _zero_counters() -> dict[str, float]:
+    """The all-zero solver+analysis counter template.
+
+    The ``solver_stats`` of a benchmark whose every cell was satisfied
+    from the store: no solve stage ran, so nothing was counted — but
+    downstream aggregation still finds every familiar key.
+    """
+    from repro.analysis.classify import AnalysisStats
+    from repro.solve.planner import SolveStats
+
+    return {**SolveStats().as_dict(), **AnalysisStats().as_dict()}
+
+
+def result_stage(name: str, target_probability: float, mechanisms,
+                 *cells: CellArtifact) -> "object":
+    """Stage task: reassemble one benchmark's cells into its result.
+
+    Always runs inline (it is every benchmark DAG's sink).  The solve
+    counters travel on the computed cells — all of one benchmark's
+    computed cells reference the same dict, counted once here; a
+    benchmark served entirely from the store reports the zero
+    template.  ``cells_from_store`` is added only when > 0, so a cold
+    result's counter dict is key-identical to the per-benchmark
+    schedule's.
+    """
+    from repro.experiments.runner import BenchmarkResult
+
+    counters = next((cell.counters for cell in cells
+                     if cell.counters is not None), None)
+    counters = dict(counters) if counters is not None else _zero_counters()
+    served = sum(1 for cell in cells if cell.from_store)
+    if served:
+        counters["cells_from_store"] = \
+            counters.get("cells_from_store", 0) + served
+    return BenchmarkResult(
+        name=name,
+        wcet_fault_free=cells[0].estimate.wcet_fault_free,
+        estimates={mechanism: cell.estimate
+                   for mechanism, cell in zip(mechanisms, cells)},
+        target_probability=target_probability,
+        solver_stats=counters)
+
+
+def benchmark_dag(scheduler: PipelineScheduler, name: str, config,
+                  target_probability: float, *,
+                  mechanisms=SUITE_MECHANISMS, pool: bool = False,
+                  estimator_workers: int = 1, cell_store=None,
+                  prefix: str = "") -> str:
+    """Add one benchmark's cell-granular DAG; returns the result key.
+
+    classify → solve → one cell per (mechanism, ``config.pfail``) →
+    result.  Cells carry their artifact key as the dispatch order key
+    and, when ``cell_store`` is given, a plan-pass probe that decodes
+    the persisted cell — an up-stream-clean cell is satisfied from the
+    store, and a benchmark whose every cell is satisfied skips its
+    classify and solve stages outright.
+    """
+    from repro.pipeline.cellstore import decode_cell
+
+    context = store_context(load(name).cfg.digest(), config.geometry,
+                            config.timing)
+    classify_key = scheduler.add(
+        f"{prefix}classify:{name}", classify_stage,
+        args=(name, config, tuple(mechanisms), pool),
+        stage="classify", pool=pool)
+    solve_key = scheduler.add(
+        f"{prefix}solve:{name}", solve_stage,
+        args=(name, config, tuple(mechanisms), estimator_workers, pool),
+        deps=(classify_key,), stage="solve", pool=pool)
+    cell_keys = []
+    for mechanism in mechanisms:
+        cell_key = DistributionArtifact.derive_key(context, mechanism,
+                                                   config.pfail)
+        probe = None
+        if cell_store is not None:
+            def probe(key=cell_key, mechanism=mechanism):
+                value = cell_store.get(key)
+                if value is None:
+                    return None
+                estimate = decode_cell(value, name=name,
+                                       mechanism=mechanism,
+                                       config=config, pfail=config.pfail)
+                if estimate is None:
+                    return None
+                return CellArtifact(key=key, mechanism=mechanism,
+                                    pfail=config.pfail,
+                                    estimate=estimate, counters=None,
+                                    from_store=True)
+        cell_keys.append(scheduler.add(
+            f"{prefix}cell:{name}:{mechanism}", cell_stage,
+            args=(name, mechanism, config.pfail, config, cell_key, pool),
+            deps=(solve_key,), stage="cell", pool=pool,
+            order_key=cell_key, probe=probe))
+    return scheduler.add(
+        f"{prefix}result:{name}", result_stage,
+        args=(name, target_probability, tuple(mechanisms)),
+        deps=tuple(cell_keys), stage="result")
+
+
 def suite_pipeline(benchmarks, config, target_probability: float, *,
                    workers: int = 1,
                    scheduler: PipelineScheduler | None = None,
                    stats: PipelineStats | None = None,
-                   phase_barrier: bool = False) -> dict[str, object]:
+                   phase_barrier: bool = False,
+                   schedule: str = "cell",
+                   mechanisms=SUITE_MECHANISMS) -> dict[str, object]:
     """Run the suite DAG; returns BenchmarkResults keyed by name.
 
-    ``workers > 1`` executes both stage families on one shared process
+    ``workers > 1`` executes every stage family on one shared process
     pool with only artifact dependencies between them; ``workers=1``
-    runs the same DAG inline in deterministic submission order.
+    runs the same DAG inline in deterministic dispatch order.
     Results are bit-identical either way.
+
+    ``schedule`` selects the DAG shape: ``"cell"`` (default) fans the
+    distribution work out per (mechanism, pfail) cell with plan-pass
+    store probes — a warm rerun satisfies every cell from the store,
+    an edited benchmark recomputes only its own stages; ``"benchmark"``
+    is the monolithic per-benchmark reference schedule (also used by
+    ``phase_barrier``, which is meaningless at cell granularity).
+    ``mechanisms`` restricts the estimated set (cell schedule only —
+    the reference schedule always estimates the paper's three).
     """
     # Dedupe while preserving order: a repeated benchmark name is one
     # task (and one result entry), exactly like the memoised runner.
     benchmarks = tuple(dict.fromkeys(benchmarks))
     if scheduler is None:
         scheduler = PipelineScheduler(workers=workers)
-    # A single benchmark has nothing to overlap with: run it inline
-    # and let the configuration's own worker width drive the per-ILP
-    # batches instead (the historical behaviour).
+    # A single benchmark still fans out over its cells, but runs them
+    # inline and lets the configuration's own worker width drive the
+    # per-ILP batches instead (the historical behaviour).
     pool = workers > 1 and len(benchmarks) > 1
     estimator_workers = 1 if pool else config.workers
-    classify_keys = tuple(f"classify:{name}" for name in benchmarks)
-    for name in benchmarks:
-        scheduler.add(f"classify:{name}", classify_stage,
-                      args=(name, config, SUITE_MECHANISMS, pool),
-                      stage="classify", pool=pool)
-        deps = ((f"classify:{name}",) if not phase_barrier
-                else (f"classify:{name}",) + tuple(
-                    key for key in classify_keys
-                    if key != f"classify:{name}"))
-        scheduler.add(f"estimate:{name}", estimate_stage,
-                      args=(name, config, target_probability,
-                            estimator_workers),
-                      deps=deps, stage="estimate", pool=pool)
-    results = scheduler.run(stats=stats)
+    if phase_barrier or schedule == "benchmark":
+        classify_keys = tuple(f"classify:{name}" for name in benchmarks)
+        for name in benchmarks:
+            scheduler.add(f"classify:{name}", classify_stage,
+                          args=(name, config, SUITE_MECHANISMS, pool),
+                          stage="classify", pool=pool)
+            deps = ((f"classify:{name}",) if not phase_barrier
+                    else (f"classify:{name}",) + tuple(
+                        key for key in classify_keys
+                        if key != f"classify:{name}"))
+            scheduler.add(f"estimate:{name}", estimate_stage,
+                          args=(name, config, target_probability,
+                                estimator_workers),
+                          deps=deps, stage="estimate", pool=pool)
+        result_keys = {name: f"estimate:{name}" for name in benchmarks}
+        results = scheduler.run(stats=stats)
+    else:
+        from repro.pipeline.cellstore import CellStore
+
+        cell_store = CellStore.resolve(config.cache)
+        if cell_store is not None:
+            # Cells persisted by pool workers of an earlier run in
+            # this process live in shards the memoised handle has not
+            # seen; fold them in before the plan pass probes.
+            cell_store.refresh()
+        result_keys = {
+            name: benchmark_dag(scheduler, name, config,
+                                target_probability,
+                                mechanisms=mechanisms, pool=pool,
+                                estimator_workers=estimator_workers,
+                                cell_store=cell_store)
+            for name in benchmarks}
+        results = scheduler.run(stats=stats)
     suite = {}
     for name in benchmarks:
-        result = results[f"estimate:{name}"]
+        result = results[result_keys[name]]
         suite[name] = result
         if stats is not None:
             stats.merge_counters(result.solver_stats)

@@ -87,6 +87,33 @@ class EstimatorConfig:
                                      pfail=self.pfail)
 
 
+def penalty_distribution(fmm: FaultMissMap,
+                         mechanism: ReliabilityMechanism,
+                         fault_model: FaultProbabilityModel,
+                         sets: int) -> DiscreteDistribution:
+    """Whole-cache fault penalty distribution, in misses.
+
+    Pure function of (FMM, mechanism, fault model): per-set penalty
+    points weighted by the mechanism's fault pmf (eq. 2 / eq. 3),
+    convolved across sets (Figure 1.b).  Module-level so the cell
+    stage of the pipeline (:func:`repro.pipeline.stages.cell_stage`)
+    and :meth:`PWCETEstimator.penalty_distribution` share one
+    definition — bit-identity between the two schedules is by
+    construction, not by parallel maintenance.
+    """
+    pmf = mechanism.fault_pmf(fault_model)
+    per_set = []
+    for set_index in range(sets):
+        points: dict[int, float] = {}
+        for fault_count, probability in pmf.items():
+            penalty = fmm.misses(set_index, fault_count)
+            points[penalty] = points.get(penalty, 0.0) + probability
+        if set(points) == {0}:
+            continue  # identity of convolution
+        per_set.append(DiscreteDistribution.from_points(points))
+    return DiscreteDistribution.convolve_all(per_set)
+
+
 @dataclass(frozen=True)
 class PWCETEstimate:
     """Everything known about one (program, mechanism) estimation."""
@@ -256,18 +283,9 @@ class PWCETEstimator:
                              ) -> DiscreteDistribution:
         """Whole-cache fault penalty distribution, in misses."""
         mechanism = self._resolve(mechanism)
-        fmm = self.fault_miss_map(mechanism)
-        pmf = mechanism.fault_pmf(self._fault_model)
-        per_set = []
-        for set_index in range(self._config.geometry.sets):
-            points: dict[int, float] = {}
-            for fault_count, probability in pmf.items():
-                penalty = fmm.misses(set_index, fault_count)
-                points[penalty] = points.get(penalty, 0.0) + probability
-            if set(points) == {0}:
-                continue  # identity of convolution
-            per_set.append(DiscreteDistribution.from_points(points))
-        return DiscreteDistribution.convolve_all(per_set)
+        return penalty_distribution(self.fault_miss_map(mechanism),
+                                    mechanism, self._fault_model,
+                                    self._config.geometry.sets)
 
     def estimate(self, mechanism: ReliabilityMechanism | str
                  ) -> PWCETEstimate:

@@ -7,8 +7,9 @@ developer boxes can seed each other's caches — entries are
 content-addressed, so an import *merges* (new keys are appended as a
 fresh shard, existing keys are never clobbered).
 
-Both persistent stores — the solve store (``v<N>/``) and the
-classification store (``classify-v<N>/``) — are append-only: every
+The persistent stores — the solve store (``v<N>/``), the
+classification store (``classify-v<N>/``) and the estimation cell
+store (``cells-v<N>/``) — are append-only: every
 writer process opens its own JSONL shard and entries are never
 rewritten, so a long-lived cache directory accumulates shards and
 duplicate lines (two concurrent cold runs may both append the same
@@ -154,14 +155,12 @@ def compact_shard_dir(shard_dir: str | os.PathLike, *,
 
 
 def collect_shard_dirs(root: str | os.PathLike) -> list[pathlib.Path]:
-    """Every schema directory under one cache root, both stores."""
+    """Every schema directory under one cache root, all three stores."""
     root = pathlib.Path(root)
     if not root.is_dir():
         return []
     return sorted(path for path in root.iterdir()
-                  if path.is_dir()
-                  and (path.name.startswith("v")
-                       or path.name.startswith("classify-v")))
+                  if path.is_dir() and _is_schema_dir_name(path.name))
 
 
 @dataclass(frozen=True)
@@ -198,7 +197,7 @@ class ImportReport:
 
 def export_cache(tarball: str | os.PathLike,
                  cache: str | None = None) -> list[ExportReport]:
-    """Pack the gc'd canonical shards of both stores into a tarball.
+    """Pack the gc'd canonical shards of every store into a tarball.
 
     The live cache directory is read, validated and folded exactly
     like ``repro cache gc`` would (corrupt lines dropped, duplicates
@@ -313,21 +312,25 @@ def _invalidate_handles(root: pathlib.Path) -> None:
     so an import is visible to the importing process, not only to the
     next one."""
     from repro.analysis.store import ClassificationStore
+    from repro.pipeline.cellstore import CellStore
 
     for handle in (SolveStore.resolve(str(root)),
-                   ClassificationStore.resolve(str(root))):
+                   ClassificationStore.resolve(str(root)),
+                   CellStore.resolve(str(root))):
         if handle is not None:
             handle.invalidate()
 
 
 def _is_schema_dir_name(name: str) -> bool:
-    """A plain ``v<N>`` / ``classify-v<N>`` directory name (no path
-    tricks — this gates what an archive may write into the cache)."""
+    """A plain ``v<N>`` / ``classify-v<N>`` / ``cells-v<N>`` directory
+    name (no path tricks — this gates what an archive may write into
+    the cache)."""
     if "/" in name or "\\" in name or name in (".", ".."):
         return False
-    version = name[len("classify-v"):] if name.startswith("classify-v") \
-        else name[len("v"):] if name.startswith("v") else None
-    return version is not None and version.isdigit()
+    for prefix in ("classify-v", "cells-v", "v"):
+        if name.startswith(prefix):
+            return name[len(prefix):].isdigit()
+    return False
 
 
 def gc_cache(cache: str | None = None, *,

@@ -175,6 +175,8 @@ class ShardedStore:
         self._shard_dir = self.root / subdir
         self._shard = None  # lazily opened append handle
         self._loaded = False
+        #: Bytes of each shard already indexed, for :meth:`refresh`.
+        self._offsets: dict[str, int] = {}
 
     # -- index hooks (subclass responsibility) -------------------------
     def _reset_index(self) -> None:
@@ -191,17 +193,68 @@ class ShardedStore:
             return False
         self._loaded = True
         self._reset_index()
+        self._offsets = {}
         if not self._shard_dir.is_dir():
             return True
         for shard in sorted(self._shard_dir.glob("shard-*.jsonl")):
+            self._read_shard(shard, final=True)
+        return True
+
+    def _read_shard(self, shard: pathlib.Path, *,
+                    final: bool = False) -> None:
+        """Index the unread tail of one shard, complete lines only.
+
+        Reads from the last recorded byte offset.  A trailing partial
+        line is a writer mid-append during a :meth:`refresh` — left
+        unconsumed for the next refresh rather than counted corrupt —
+        but on the initial full load (``final=True``) it is a killed
+        writer's truncated tail and counts as corrupt (the offset
+        still stops before it, so a later completion is not lost).
+        """
+        offset = self._offsets.get(shard.name, 0)
+        try:
+            with open(shard, "rb") as handle:
+                handle.seek(offset)
+                data = handle.read()
+        except OSError:
+            return
+        cut = data.rfind(b"\n") + 1
+        self._offsets[shard.name] = offset + cut
+        text = data[:cut].decode("utf-8", errors="replace")
+        for line in text.splitlines():
+            if line.strip():
+                self._index_entry(parse_shard_line(line))
+        if final and data[cut:].strip():
+            self._index_entry(
+                parse_shard_line(data[cut:].decode("utf-8",
+                                                   errors="replace")))
+
+    def refresh(self) -> None:
+        """Fold shard lines appended since the last load into the index.
+
+        Cheap (tail reads from per-shard offsets) and idempotent: the
+        pipeline calls it at stage entry so writes from pool workers or
+        work-stealing peers become visible deterministically.  A shard
+        that *shrank* (``repro cache gc`` rewrote it in place) forces a
+        full rescan.  A handle that never loaded stays lazy.
+        """
+        if not self._loaded:
+            return
+        if self._shard_dir.is_dir():
+            shards = sorted(self._shard_dir.glob("shard-*.jsonl"))
+        else:
+            shards = []
+        for shard in shards:
             try:
-                text = shard.read_text(encoding="utf-8", errors="replace")
+                size = shard.stat().st_size
             except OSError:
                 continue
-            for line in text.splitlines():
-                if line.strip():
-                    self._index_entry(parse_shard_line(line))
-        return True
+            if size < self._offsets.get(shard.name, 0):
+                self._loaded = False  # rewritten in place: rescan all
+                self._ensure_loaded()
+                return
+        for shard in shards:
+            self._read_shard(shard)
 
     def _append(self, kind: str, key: str, value: object) -> bool:
         line = encode_shard_line(kind, key, value)

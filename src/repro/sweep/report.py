@@ -51,6 +51,11 @@ def format_pareto_fronts(result: SweepResult) -> str:
             candidates = tuple(point
                                for point in result.of_mechanism(mechanism)
                                if point.pfail == pfail)
+            if not candidates:
+                # A filtered sweep (--only-cells) may have estimated
+                # this pfail for other mechanisms only; an empty front
+                # section would say nothing.
+                continue
             front = pareto_front(candidates)
             lines = [f"Pareto front — {mechanism} at pfail={pfail:g} "
                      f"(gain vs cell budget, {len(front)} of "
@@ -77,6 +82,14 @@ def format_sweep_report(result: SweepResult) -> str:
         f"analysis: {totals.get('fixpoints_run', 0):.0f} fixpoints run, "
         f"{totals.get('classify_store_hits', 0):.0f} classification "
         f"tables served by the persistent cache")
+    summary = solver + "\n" + analysis
+    if totals.get("cells_from_store", 0) > 0:
+        # Only present when the incremental plan pass actually served
+        # finished cells, so cold-run reports stay byte-identical to
+        # the pre-cell-store format.
+        summary += (f"\ncells: {totals['cells_from_store']:.0f} "
+                    f"(mechanism, pfail) cells served by the persistent "
+                    f"cell store")
     return "\n\n".join([format_sweep_table(result),
                         format_pareto_fronts(result),
-                        solver + "\n" + analysis])
+                        summary])

@@ -30,7 +30,9 @@ from dataclasses import dataclass, replace
 
 from repro.pipeline.scheduler import PipelineScheduler
 
+from repro.errors import ConfigurationError
 from repro.hwcost.model import MechanismCostModel
+from repro.pipeline.stages import SUITE_MECHANISMS
 from repro.pwcet import EstimatorConfig
 from repro.pwcet.estimator import TARGET_EXCEEDANCE
 from repro.reliability import MECHANISMS
@@ -118,11 +120,19 @@ def pareto_front(points: tuple[DesignPoint, ...]
     return tuple(front)
 
 
-def _cell_points(cell: SweepCell, results) -> tuple[DesignPoint, ...]:
-    """The per-mechanism design points of one completed grid cell."""
+def _cell_points(cell: SweepCell, results,
+                 mechanisms: tuple[str, ...] = SWEEP_MECHANISMS
+                 ) -> tuple[DesignPoint, ...]:
+    """The per-mechanism design points of one completed grid cell.
+
+    ``mechanisms`` restricts which configurations emit a point
+    (``--only-cells``); the paper's full set by default.
+    """
     cost_model = MechanismCostModel(cell.geometry)
     points = []
     for mechanism in MECHANISMS:
+        if mechanism.name not in mechanisms:
+            continue
         cost = cost_model.cost_of(mechanism)
         pwcets = [result.pwcet(mechanism.name) for result in results]
         gains = [result.gain(mechanism.name) for result in results]
@@ -137,6 +147,78 @@ def _cell_points(cell: SweepCell, results) -> tuple[DesignPoint, ...]:
     return tuple(points)
 
 
+def _selection(only_cells, pfails):
+    """Normalise ``--only-cells`` filters into pfail → mechanism map.
+
+    Each filter is a ``(mechanism | None, pfail | None)`` pair —
+    ``None`` is a wildcard on that axis.  Returns the mechanisms (in
+    presentation order) selected at every surviving pfail; pfails no
+    filter matches are dropped from the grid entirely.  With no
+    filters the whole grid is selected.
+    """
+    if not only_cells:
+        return {pfail: SWEEP_MECHANISMS for pfail in pfails}
+    filters = []
+    for mechanism, pfail in only_cells:
+        if mechanism is not None and mechanism not in SWEEP_MECHANISMS:
+            raise ConfigurationError(
+                f"--only-cells: unknown mechanism {mechanism!r} "
+                f"(choose from {', '.join(SWEEP_MECHANISMS)})")
+        filters.append((mechanism, pfail))
+    selection = {}
+    for pfail in pfails:
+        mechanisms = tuple(
+            name for name in SWEEP_MECHANISMS
+            if any((want_mech is None or want_mech == name)
+                   and (want_pfail is None or want_pfail == pfail)
+                   for want_mech, want_pfail in filters))
+        if mechanisms:
+            selection[pfail] = mechanisms
+    if not selection:
+        raise ConfigurationError(
+            "--only-cells selected no cells: no filter matches any "
+            f"grid pfail ({', '.join(format(p, 'g') for p in pfails)})")
+    return selection
+
+
+def _estimation_mechanisms(point_mechanisms: tuple[str, ...]
+                           ) -> tuple[str, ...]:
+    """The mechanism set a filtered cell must actually estimate.
+
+    The unprotected baseline is always included (gain and the
+    fault-free WCET are defined against it), in the suite's canonical
+    order — so a filtered cell's selected estimates are bit-identical
+    to the full run's.
+    """
+    return tuple(name for name in SUITE_MECHANISMS
+                 if name == "none" or name in point_mechanisms)
+
+
+def _run_cell_suite(cell_config, benchmarks, workers, probability,
+                    mechanisms, schedule):
+    """One cell's suite run, memo-bypassing when mechanism-filtered.
+
+    The runner memo keys results by (benchmark, config, probability)
+    only — a subset-mechanism result must never land there, or later
+    full-grid drivers would read estimates with missing mechanisms.
+    Filtered cells therefore go straight to the pipeline.
+    """
+    from repro.experiments.runner import run_suite
+
+    if tuple(mechanisms) == SUITE_MECHANISMS:
+        return run_suite(cell_config, benchmarks=benchmarks,
+                         workers=workers, target_probability=probability,
+                         schedule=schedule)
+    from repro.pipeline.stages import suite_pipeline
+
+    if workers is None:
+        workers = cell_config.workers
+    computed = suite_pipeline(tuple(benchmarks), cell_config, probability,
+                              workers=workers, schedule=schedule,
+                              mechanisms=mechanisms)
+    return [computed[name] for name in benchmarks]
+
+
 def _run_cell_group(item):
     """Pool entry point: every pfail cell of one geometry, in order.
 
@@ -148,17 +230,18 @@ def _run_cell_group(item):
     geometry groups than ``cell_workers``); > 1 fans benchmarks of
     each cell out a second level, so no requested worker idles.
     """
-    geometry, pfails, benchmarks, config, probability, inner_workers = item
-    from repro.experiments.runner import fresh_results, run_suite
+    (geometry, selection, benchmarks, config, probability,
+     inner_workers, schedule) = item
+    from repro.experiments.runner import fresh_results
 
     cells = []
     with fresh_results():
-        for pfail in pfails:
+        for pfail, point_mechanisms in selection.items():
             cell_config = replace(config, geometry=geometry, pfail=pfail,
                                   workers=1)
-            results = run_suite(cell_config, benchmarks=benchmarks,
-                                workers=inner_workers,
-                                target_probability=probability)
+            results = _run_cell_suite(
+                cell_config, benchmarks, inner_workers, probability,
+                _estimation_mechanisms(point_mechanisms), schedule)
             cells.append((SweepCell(geometry=geometry, pfail=pfail),
                           results))
     return cells
@@ -171,6 +254,8 @@ def run_sweep(geometries=None, *,
               workers: int | None = None,
               cell_workers: int = 1,
               on_cell=None,
+              only_cells=None,
+              schedule: str = "cell",
               probability: float = TARGET_EXCEEDANCE) -> SweepResult:
     """Estimate the whole suite at every grid cell.
 
@@ -184,6 +269,15 @@ def run_sweep(geometries=None, *,
     finished cell — in grid order sequentially, in completion order
     under ``cell_workers`` — so callers can stream the report.
 
+    ``only_cells`` (a sequence of ``(mechanism | None, pfail | None)``
+    filters, ``None`` wildcarding an axis) restricts the sweep to the
+    matching (mechanism, pfail) cells: unmatched pfails leave the
+    grid, unmatched mechanisms of surviving cells are neither
+    estimated nor reported — but every selected point and Pareto front
+    section is bit-identical to the full run's.  ``schedule`` selects
+    the estimation DAG shape per cell (see
+    :func:`~repro.experiments.runner.run_suite`).
+
     The sweep runs inside :func:`~repro.experiments.runner
     .fresh_results`, so its solver totals describe exactly the work it
     performed — results memoised by earlier drivers in the same
@@ -192,15 +286,15 @@ def run_sweep(geometries=None, *,
     and that one is exact (store hits are counted by the estimator
     that makes them).
     """
-    from repro.experiments.runner import (fresh_results, run_suite,
-                                          solver_totals)
+    from repro.experiments.runner import fresh_results, solver_totals
 
     if geometries is None:
         geometries = geometry_grid()
     if config is None:
         config = EstimatorConfig()
     geometries = tuple(geometries)
-    pfails = tuple(pfails)
+    selection = _selection(only_cells, tuple(pfails))
+    pfails = tuple(selection)
     cells = sweep_cells(geometries, pfails)
     points_by_cell: dict[SweepCell, tuple[DesignPoint, ...]] = {}
     results_by_cell: dict[SweepCell, list] = {}
@@ -209,7 +303,8 @@ def run_sweep(geometries=None, *,
     def finish(cell, results):
         nonlocal completed
         completed += 1
-        points_by_cell[cell] = _cell_points(cell, results)
+        points_by_cell[cell] = _cell_points(cell, results,
+                                            selection[cell.pfail])
         results_by_cell[cell] = results
         if on_cell is not None:
             on_cell(cell, points_by_cell[cell], completed, len(cells))
@@ -223,8 +318,8 @@ def run_sweep(geometries=None, *,
         for position, geometry in enumerate(geometries):
             scheduler.add(
                 f"cells:{position}", _run_cell_group,
-                args=((geometry, pfails, benchmarks, config, probability,
-                       inner_workers),),
+                args=((geometry, selection, benchmarks, config,
+                       probability, inner_workers, schedule),),
                 stage="sweep-cells", pool=True)
 
         def group_done(_key, group, _completed, _total):
@@ -244,9 +339,10 @@ def run_sweep(geometries=None, *,
                                   pfail=cell.pfail)
 
             def run_cell(cell=cell, cell_config=cell_config):
-                return (cell, run_suite(cell_config, benchmarks=benchmarks,
-                                        workers=workers,
-                                        target_probability=probability))
+                mechanisms = _estimation_mechanisms(selection[cell.pfail])
+                return (cell, _run_cell_suite(cell_config, benchmarks,
+                                              workers, probability,
+                                              mechanisms, schedule))
 
             scheduler.add(f"cell:{position}", run_cell, stage="sweep-cell")
 

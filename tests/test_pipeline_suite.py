@@ -32,7 +32,8 @@ class TestStatsScoping:
             first_stats = PipelineStats()
             first = run_suite(config, benchmarks=SUBSET,
                               pipeline_stats=first_stats)
-            assert first_stats.tasks_run == 2 * len(SUBSET)
+            # classify + solve + 3 cells + result per benchmark.
+            assert first_stats.tasks_run == 6 * len(SUBSET)
             assert first_stats.counters["ilp_solved"] > 0
 
             second_stats = PipelineStats()
