@@ -84,7 +84,8 @@ def run_suite(config: EstimatorConfig | None = None, *,
               benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
               workers: int | None = None,
               pipeline_stats: PipelineStats | None = None,
-              schedule: str = "cell") -> list[BenchmarkResult]:
+              schedule: str = "cell",
+              batch_pfails=None) -> list[BenchmarkResult]:
     """Run the whole 25-benchmark suite (Figure 4's input data).
 
     ``workers`` (default: the configuration's ``workers`` field) > 1
@@ -97,7 +98,11 @@ def run_suite(config: EstimatorConfig | None = None, *,
     in-process memo contribute nothing to it.  ``schedule`` selects
     the cell-granular DAG (default; incremental via the persistent
     cell store) or the monolithic per-benchmark reference schedule —
-    results are bit-identical either way.
+    results are bit-identical either way.  ``batch_pfails``
+    (mechanism → pfail axis; cell schedule only) lets each cell stage
+    prefill its sibling pfail rows through the batched distribution
+    kernel — the sweep's axis amortisation; see
+    :func:`~repro.pipeline.stages.benchmark_dag`.
     """
     if config is None:
         config = EstimatorConfig()
@@ -109,7 +114,8 @@ def run_suite(config: EstimatorConfig | None = None, *,
         computed = suite_pipeline(tuple(pending), config,
                                   target_probability,
                                   workers=workers, stats=pipeline_stats,
-                                  schedule=schedule)
+                                  schedule=schedule,
+                                  batch_pfails=batch_pfails)
         for name in pending:
             _CACHE[(name, config, target_probability)] = computed[name]
     return [run_benchmark(name, config,

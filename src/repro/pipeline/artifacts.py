@@ -38,7 +38,10 @@ def _digest(*parts: object) -> str:
 #: Folded into every :meth:`DistributionArtifact.derive_key` /
 #: :meth:`CellArtifact.derive_key`, so bumping it invalidates every
 #: stored cell without touching the solve or classification stores.
-CELL_SCHEMA_VERSION = 1
+#: v2: sparse (width, support, values) pmf encoding — wide suite
+#: distributions are mostly zero, and the dense float list dominated
+#: warm-decode and write-through time.
+CELL_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -169,5 +172,9 @@ class CellArtifact(StageArtifact):
     counters: dict | None = field(repr=False)
     #: True when ``plan()`` answered this cell from the cell store.
     from_store: bool = False
+    #: Sibling pfail rows this cell's stage computed alongside its own
+    #: (the batched distribution kernel's pfail-axis fan-in) and wrote
+    #: through to the cell store; 0 when the cell ran unbatched.
+    batched_rows: int = 0
 
     derive_key = staticmethod(DistributionArtifact.derive_key)

@@ -102,9 +102,15 @@ class PipelineStats:
                                      + seconds)
 
     def merge_counters(self, counters: dict[str, float] | None) -> None:
-        """Fold one stage's counter dict in (rates are skipped)."""
+        """Fold one stage's counter dict in (rates are skipped).
+
+        ``fault_pmf_*`` keys are process-scope memo snapshots, not
+        per-run work — summing them would double-count across stages,
+        so they are dropped (mirrors ``_merged_counters``).
+        """
         for key, value in (counters or {}).items():
-            if not key.endswith("_rate"):
+            if not key.endswith("_rate") \
+                    and not key.startswith("fault_pmf_"):
                 self.counters[key] = self.counters.get(key, 0) + value
 
     def totals(self) -> dict[str, float]:
@@ -133,6 +139,12 @@ class PipelineStats:
     @property
     def cells_total(self) -> int:
         return self.cells_recomputed + self.cells_from_store
+
+    @property
+    def cells_batched(self) -> int:
+        """Sibling pfail rows the batched distribution kernel computed
+        alongside running cells and prefilled into the cell store."""
+        return int(self.counters.get("dist_batched_rows", 0))
 
 
 @dataclass

@@ -24,7 +24,10 @@ These are the module-level task bodies the
     the finished :class:`~repro.pwcet.estimator.PWCETEstimate` —
     written through the :class:`~repro.pipeline.cellstore.CellStore`
     under its content address, so the scheduler's plan pass can
-    satisfy the cell from the store on the next run.
+    satisfy the cell from the store on the next run.  Given a
+    pfail-axis batch, one cell computes its mechanism's whole axis in
+    a single :func:`~repro.pwcet.batch.penalty_distributions` pass and
+    prefills the sibling rows' addresses.
 
 ``result_stage``
     (cells) → :class:`~repro.experiments.runner.BenchmarkResult`:
@@ -198,10 +201,15 @@ def _merged_counters(summary: dict[str, float],
 
     Count-style keys sum; rate-style keys keep the estimator's value
     (rates never sum — drivers recompute them from totals).
+    ``fault_pmf_*`` keys are process-scope memo diagnostics, not
+    per-run work counters — including them would make ``solver_stats``
+    depend on what ran earlier in the process, breaking its immutable
+    per-run snapshot semantics, so they are dropped here.
     """
-    merged = dict(summary)
+    merged = {key: value for key, value in summary.items()
+              if not key.startswith("fault_pmf_")}
     for key, value in stage_stats.items():
-        if not key.endswith("_rate"):
+        if not key.endswith("_rate") and not key.startswith("fault_pmf_"):
             merged[key] = merged.get(key, 0) + value
     return merged
 
@@ -278,7 +286,7 @@ def solve_stage(name: str, config, mechanisms, estimator_workers: int,
 
 
 def cell_stage(name: str, mechanism_name: str, pfail: float, config,
-               cell_key: str, refresh: bool,
+               cell_key: str, refresh: bool, batch_rows,
                solve_output: SolveOutput) -> CellArtifact:
     """Stage task: one (mechanism, pfail) estimation cell.
 
@@ -287,30 +295,53 @@ def cell_stage(name: str, mechanism_name: str, pfail: float, config,
     estimator uses, so the estimate is bit-identical to the fused
     path's — written through the cell store under ``cell_key`` for the
     next run's plan pass to find.
+
+    ``batch_rows`` (``((pfail, cell_key), ...)``; empty = unbatched)
+    is the batched distribution kernel's pfail-axis fan-in: the FMM's
+    penalty points are pfail-independent, so every listed row shares
+    this cell's penalty structure and all of them come out of *one*
+    :func:`~repro.pwcet.batch.penalty_distributions` pass.  The
+    sibling rows are written through to the cell store under their own
+    content addresses — a later run (the sweep's next pfail column)
+    finds them in its plan pass — while this cell's own row (always in
+    the batch) is the artifact returned.  Each row is bit-identical to
+    an unbatched computation, so batching never changes a result.
     """
     from repro.pipeline.cellstore import CellStore, encode_cell
-    from repro.pwcet.estimator import PWCETEstimate, penalty_distribution
+    from repro.pwcet.batch import penalty_distributions
+    from repro.pwcet.estimator import PWCETEstimate
 
     if refresh:
         _refresh_stores(config.cache)
     mechanism = mechanism_by_name(mechanism_name)
-    model = FaultProbabilityModel(geometry=config.geometry, pfail=pfail)
+    rows = tuple(batch_rows) or ((pfail, cell_key),)
     fmm = solve_output.fmms[mechanism_name]
     sets = config.geometry.sets
-    estimate = PWCETEstimate(
-        program_name=name,
-        mechanism_name=mechanism_name,
-        wcet_fault_free=solve_output.wcet_cycles,
-        penalty_misses=penalty_distribution(fmm, mechanism, model, sets),
-        timing=config.timing,
-        fmm=fmm,
-        exceedance_correction=mechanism.exceedance_correction(model, sets))
+    models = [FaultProbabilityModel(geometry=config.geometry,
+                                    pfail=row_pfail)
+              for row_pfail, _ in rows]
+    distributions = penalty_distributions(fmm, mechanism, models, sets)
     store = CellStore.resolve(config.cache)
-    if store is not None:
-        store.put(cell_key, encode_cell(estimate))
+    own = None
+    for (row_pfail, row_key), model, distribution in zip(rows, models,
+                                                         distributions):
+        estimate = PWCETEstimate(
+            program_name=name,
+            mechanism_name=mechanism_name,
+            wcet_fault_free=solve_output.wcet_cycles,
+            penalty_misses=distribution,
+            timing=config.timing,
+            fmm=fmm,
+            exceedance_correction=mechanism.exceedance_correction(model,
+                                                                  sets))
+        if store is not None:
+            store.put(row_key, encode_cell(estimate))
+        if row_key == cell_key:
+            own = estimate
     return CellArtifact(key=cell_key, mechanism=mechanism_name,
-                        pfail=pfail, estimate=estimate,
-                        counters=solve_output.counters, from_store=False)
+                        pfail=pfail, estimate=own,
+                        counters=solve_output.counters, from_store=False,
+                        batched_rows=len(rows) - 1)
 
 
 def _zero_counters() -> dict[str, float]:
@@ -347,6 +378,13 @@ def result_stage(name: str, target_probability: float, mechanisms,
     if served:
         counters["cells_from_store"] = \
             counters.get("cells_from_store", 0) + served
+    # Sibling pfail rows the batched distribution kernel prefilled;
+    # added only when batching happened, so an unbatched result's
+    # counter dict stays key-identical to the reference schedule's.
+    batched = sum(cell.batched_rows for cell in cells)
+    if batched:
+        counters["dist_batched_rows"] = \
+            counters.get("dist_batched_rows", 0) + batched
     return BenchmarkResult(
         name=name,
         wcet_fault_free=cells[0].estimate.wcet_fault_free,
@@ -360,7 +398,7 @@ def benchmark_dag(scheduler: PipelineScheduler, name: str, config,
                   target_probability: float, *,
                   mechanisms=SUITE_MECHANISMS, pool: bool = False,
                   estimator_workers: int = 1, cell_store=None,
-                  prefix: str = "") -> str:
+                  batch_pfails=None, prefix: str = "") -> str:
     """Add one benchmark's cell-granular DAG; returns the result key.
 
     classify → solve → one cell per (mechanism, ``config.pfail``) →
@@ -369,6 +407,16 @@ def benchmark_dag(scheduler: PipelineScheduler, name: str, config,
     the persisted cell — an up-stream-clean cell is satisfied from the
     store, and a benchmark whose every cell is satisfied skips its
     classify and solve stages outright.
+
+    ``batch_pfails`` (mechanism → pfail axis, e.g. the sweep's grid
+    columns) opts each cell into the batched distribution kernel: the
+    cell's stage computes every *store-missing* row of its mechanism's
+    axis in one batched pass and prefills the cell store with the
+    siblings.  Per-cell content addresses are untouched — the batch is
+    assembled from exactly the per-row :meth:`DistributionArtifact
+    .derive_key` digests the plan pass probes — so ``--only-cells``
+    filtering and incremental invalidation behave as without batching.
+    Requires ``cell_store`` (prefilled rows must land somewhere).
     """
     from repro.pipeline.cellstore import decode_cell
 
@@ -386,6 +434,22 @@ def benchmark_dag(scheduler: PipelineScheduler, name: str, config,
     for mechanism in mechanisms:
         cell_key = DistributionArtifact.derive_key(context, mechanism,
                                                    config.pfail)
+        batch_rows = ()
+        if batch_pfails and cell_store is not None:
+            axis = []
+            for row_pfail in batch_pfails.get(mechanism, ()):
+                row_key = DistributionArtifact.derive_key(
+                    context, mechanism, row_pfail)
+                # Only store-missing siblings enter the batch — a row
+                # another run already persisted costs nothing to keep.
+                if row_key != cell_key and cell_store.get(row_key) \
+                        is not None:
+                    continue
+                axis.append((row_pfail, row_key))
+            if not any(key == cell_key for _, key in axis):
+                axis.insert(0, (config.pfail, cell_key))
+            if len(axis) > 1:
+                batch_rows = tuple(axis)
         probe = None
         if cell_store is not None:
             def probe(key=cell_key, mechanism=mechanism):
@@ -403,7 +467,8 @@ def benchmark_dag(scheduler: PipelineScheduler, name: str, config,
                                     from_store=True)
         cell_keys.append(scheduler.add(
             f"{prefix}cell:{name}:{mechanism}", cell_stage,
-            args=(name, mechanism, config.pfail, config, cell_key, pool),
+            args=(name, mechanism, config.pfail, config, cell_key, pool,
+                  batch_rows),
             deps=(solve_key,), stage="cell", pool=pool,
             order_key=cell_key, probe=probe))
     return scheduler.add(
@@ -418,7 +483,8 @@ def suite_pipeline(benchmarks, config, target_probability: float, *,
                    stats: PipelineStats | None = None,
                    phase_barrier: bool = False,
                    schedule: str = "cell",
-                   mechanisms=SUITE_MECHANISMS) -> dict[str, object]:
+                   mechanisms=SUITE_MECHANISMS,
+                   batch_pfails=None) -> dict[str, object]:
     """Run the suite DAG; returns BenchmarkResults keyed by name.
 
     ``workers > 1`` executes every stage family on one shared process
@@ -434,6 +500,9 @@ def suite_pipeline(benchmarks, config, target_probability: float, *,
     ``phase_barrier``, which is meaningless at cell granularity).
     ``mechanisms`` restricts the estimated set (cell schedule only —
     the reference schedule always estimates the paper's three).
+    ``batch_pfails`` (mechanism → pfail axis) opts the cell stages
+    into the batched distribution kernel's pfail-axis fan-in; see
+    :func:`benchmark_dag`.
     """
     # Dedupe while preserving order: a repeated benchmark name is one
     # task (and one result entry), exactly like the memoised runner.
@@ -475,7 +544,8 @@ def suite_pipeline(benchmarks, config, target_probability: float, *,
                                 target_probability,
                                 mechanisms=mechanisms, pool=pool,
                                 estimator_workers=estimator_workers,
-                                cell_store=cell_store)
+                                cell_store=cell_store,
+                                batch_pfails=batch_pfails)
             for name in benchmarks}
         results = scheduler.run(stats=stats)
     suite = {}

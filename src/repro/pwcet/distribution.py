@@ -25,7 +25,7 @@ _MASS_TOLERANCE = 1e-9
 class DiscreteDistribution:
     """An exact PMF over ``{0, 1, ..., n}`` (values are e.g. miss counts)."""
 
-    __slots__ = ("_pmf",)
+    __slots__ = ("_pmf", "_ccdf")
 
     def __init__(self, pmf: np.ndarray | Iterable[float], *,
                  normalized: bool = True) -> None:
@@ -41,6 +41,8 @@ class DiscreteDistribution:
                     f"pmf mass {mass} deviates from 1 by more than "
                     f"{_MASS_TOLERANCE}")
         self._pmf = array
+        #: Lazily computed (or batch-seeded) tail cache; see ccdf().
+        self._ccdf: np.ndarray | None = None
 
     # -- constructors ---------------------------------------------------
     @classmethod
@@ -61,9 +63,32 @@ class DiscreteDistribution:
         if min(points) < 0:
             raise DistributionError("negative support value")
         pmf = np.zeros(top + 1)
-        for value, probability in points.items():
-            pmf[value] += probability
+        # One vectorised scatter.  np.add.at accumulates duplicate
+        # indices sequentially in array order, which matches the old
+        # Python loop's accumulation order bit for bit (a Mapping's
+        # keys are unique, but nothing here needs to rely on that).
+        items = list(points.items())
+        np.add.at(pmf,
+                  np.fromiter((value for value, _ in items),
+                              dtype=np.int64, count=len(items)),
+                  np.fromiter((probability for _, probability in items),
+                              dtype=np.float64, count=len(items)))
         return cls(pmf, normalized=normalized)
+
+    @classmethod
+    def _trusted(cls, pmf: np.ndarray,
+                 ccdf: np.ndarray | None = None) -> "DiscreteDistribution":
+        """Wrap arrays that are valid by construction, skipping checks.
+
+        Reserved for the batched distribution kernel, whose outputs are
+        sums and products of already-validated PMFs (non-negative and
+        finite by closure) — re-validating every row would re-read the
+        whole block once per check.
+        """
+        self = cls.__new__(cls)
+        self._pmf = pmf
+        self._ccdf = ccdf
+        return self
 
     # -- basic accessors --------------------------------------------------
     @property
@@ -169,31 +194,57 @@ class DiscreteDistribution:
 
         Summing from the largest value (smallest probabilities in the
         fault setting) avoids float cancellation in the deep tail,
-        where the paper's 1e-15 exceedance threshold lives.
+        where the paper's 1e-15 exceedance threshold lives.  Computed
+        once and cached (do not mutate the returned array); the
+        batched distribution kernel seeds the cache for a whole pfail
+        batch from one 2-D suffix-sum via :meth:`seed_ccdf`.
         """
-        suffix = np.cumsum(self._pmf[::-1])[::-1]  # P(X >= v)
-        ccdf = np.empty_like(suffix)
-        ccdf[:-1] = suffix[1:]
-        ccdf[-1] = 0.0
-        return ccdf
+        if self._ccdf is None:
+            suffix = np.cumsum(self._pmf[::-1])[::-1]  # P(X >= v)
+            ccdf = np.empty_like(suffix)
+            ccdf[:-1] = suffix[1:]
+            ccdf[-1] = 0.0
+            self._ccdf = ccdf
+        return self._ccdf
+
+    def seed_ccdf(self, ccdf: np.ndarray) -> None:
+        """Pre-seed the tail cache (batched-kernel fast path).
+
+        The caller guarantees ``ccdf`` is bitwise what :meth:`ccdf`
+        would compute — for the batched kernel that holds because
+        ``np.cumsum`` accumulates a 2-D axis row-sequentially, exactly
+        like the 1-D computation.
+        """
+        if ccdf.shape != self._pmf.shape:
+            raise DistributionError(
+                f"ccdf length {ccdf.shape} does not match the pmf's "
+                f"{self._pmf.shape}")
+        self._ccdf = ccdf
 
     def quantile_exceedance(self, probability: float) -> int:
         """Smallest ``v`` with ``P(X > v) <= probability``.
 
         This is the paper's pWCET reading: the value the random
-        variable exceeds with probability at most ``p``.
+        variable exceeds with probability at most ``p``.  The ccdf is
+        exactly non-increasing (suffix sums of non-negative mass), so
+        the smallest qualifying value comes from one binary search on
+        the reversed tail instead of a full scan.
         """
         if not 0.0 < probability < 1.0:
             raise DistributionError(
                 f"exceedance probability must be in (0, 1), "
                 f"got {probability}")
         ccdf = self.ccdf()
-        indices = np.flatnonzero(ccdf <= probability)
-        if len(indices) == 0:
-            # Total mass may slightly exceed 1 only by construction
-            # errors; by definition ccdf[support_max] == 0 <= p.
+        # Entries <= probability form a suffix of ccdf, i.e. a prefix
+        # of the reversed tail; side="right" counts all of them.
+        count = int(np.searchsorted(ccdf[::-1], probability,
+                                    side="right"))
+        if count == 0:
+            # Unreachable by construction (ccdf[support_max] == 0.0
+            # <= p); kept as the historical guard against a corrupted
+            # tail.
             return self.support_max
-        return int(indices[0])
+        return len(ccdf) - count
 
     # -- dunder -----------------------------------------------------------
     def __eq__(self, other: object) -> bool:

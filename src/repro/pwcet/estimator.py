@@ -44,6 +44,7 @@ from repro.minic import CompiledProgram
 from repro.pipeline.artifacts import (DistributionArtifact, FmmArtifact,
                                       SolveArtifact)
 from repro.pipeline.scheduler import PipelineScheduler
+from repro.pwcet.batch import penalty_distributions
 from repro.pwcet.distribution import DiscreteDistribution
 from repro.pwcet.exceedance import ExceedanceCurve
 from repro.reliability import ReliabilityMechanism, mechanism_by_name
@@ -100,18 +101,15 @@ def penalty_distribution(fmm: FaultMissMap,
     and :meth:`PWCETEstimator.penalty_distribution` share one
     definition — bit-identity between the two schedules is by
     construction, not by parallel maintenance.
+
+    Dispatches through the distribution engine selected by
+    ``REPRO_DISTRIBUTION_ENGINE`` (:mod:`repro.pwcet.batch`): the
+    default batched kernel as a one-row batch, or the scalar oracle
+    :func:`~repro.pwcet.batch.penalty_distribution_scalar` — the two
+    are property-tested bit-identical, so the engine choice can never
+    change a result.
     """
-    pmf = mechanism.fault_pmf(fault_model)
-    per_set = []
-    for set_index in range(sets):
-        points: dict[int, float] = {}
-        for fault_count, probability in pmf.items():
-            penalty = fmm.misses(set_index, fault_count)
-            points[penalty] = points.get(penalty, 0.0) + probability
-        if set(points) == {0}:
-            continue  # identity of convolution
-        per_set.append(DiscreteDistribution.from_points(points))
-    return DiscreteDistribution.convolve_all(per_set)
+    return penalty_distributions(fmm, mechanism, (fault_model,), sets)[0]
 
 
 @dataclass(frozen=True)
@@ -249,10 +247,21 @@ class PWCETEstimator:
 
         This is what suite/sweep drivers aggregate: together the two
         families prove the warm-run property end to end (zero backend
-        ILPs *and* zero abstract-interpretation fixpoints).
+        ILPs *and* zero abstract-interpretation fixpoints).  The
+        ``fault_pmf_*`` pair snapshots the process-wide fault-pmf memo
+        (:func:`repro.reliability.mechanism.fault_pmf_cache_stats`) —
+        cumulative cache diagnostics, not per-run work, so counter
+        merges skip them (:func:`repro.pipeline.stages
+        ._merged_counters`, :meth:`~repro.pipeline.scheduler
+        .PipelineStats.merge_counters`).
         """
+        from repro.reliability.mechanism import fault_pmf_cache_stats
+
+        pmf_stats = fault_pmf_cache_stats()
         return {**self._planner.stats.as_dict(),
-                **self._analysis.stats.as_dict()}
+                **self._analysis.stats.as_dict(),
+                "fault_pmf_hits": pmf_stats.hits,
+                "fault_pmf_misses": pmf_stats.misses}
 
     @property
     def store(self):

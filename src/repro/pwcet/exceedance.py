@@ -63,16 +63,32 @@ class ExceedanceCurve:
         return cls(values=values, probabilities=probabilities, label=label)
 
     def pwcet(self, probability: float) -> int:
-        """Smallest value whose exceedance is <= ``probability``."""
+        """Smallest value whose exceedance is <= ``probability``.
+
+        On a non-increasing curve (the common case: suffix sums of
+        non-negative mass) the answer comes from one binary search on
+        the reversed tail; a curve carrying the tolerated float wiggle
+        (``__post_init__`` admits up-ticks <= 1e-15) falls back to the
+        exact linear scan, so both paths return the identical index.
+        """
         if not 0.0 < probability < 1.0:
             raise DistributionError(
                 f"target probability must be in (0, 1), got {probability}")
-        indices = np.flatnonzero(self.probabilities <= probability)
-        if len(indices) == 0:
+        if np.any(np.diff(self.probabilities) > 0.0):
+            indices = np.flatnonzero(self.probabilities <= probability)
+            count = len(indices)
+            first = indices[0] if count else 0
+        else:
+            # Entries <= probability form a suffix, i.e. a prefix of
+            # the reversed tail; side="right" counts all of them.
+            count = int(np.searchsorted(self.probabilities[::-1],
+                                        probability, side="right"))
+            first = len(self.probabilities) - count
+        if count == 0:
             raise DistributionError(
                 f"curve never reaches exceedance {probability}; "
                 "the penalty distribution is truncated")
-        return int(self.values[indices[0]])
+        return int(self.values[first])
 
     def exceedance_at(self, value: float) -> float:
         """``P(WCET > value)`` for an arbitrary value."""

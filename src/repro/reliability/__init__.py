@@ -2,20 +2,26 @@
 
 from repro.reliability.mechanism import (
     MECHANISMS,
+    FaultPmfCacheStats,
     NoProtection,
     ReliabilityMechanism,
     ReliableWay,
     SharedReliableBuffer,
+    fault_pmf_cache_stats,
     mechanism_by_name,
+    reset_fault_pmf_cache,
 )
 from repro.reliability.srb_analysis import srb_always_hit_references
 
 __all__ = [
     "MECHANISMS",
+    "FaultPmfCacheStats",
     "NoProtection",
     "ReliabilityMechanism",
     "ReliableWay",
     "SharedReliableBuffer",
+    "fault_pmf_cache_stats",
     "mechanism_by_name",
+    "reset_fault_pmf_cache",
     "srb_always_hit_references",
 ]

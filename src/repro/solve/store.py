@@ -118,12 +118,19 @@ def _checksum(kind: str, key: str, value_text: str) -> int:
 
 
 def encode_shard_line(kind: str, key: str, value: object) -> str:
-    """One checksummed shard line (shared by both stores and gc)."""
+    """One checksummed shard line (shared by both stores and gc).
+
+    The canonical value text feeds both the checksum and the line
+    itself — dumping the value once, not twice — so the line is
+    assembled around it.  The splice is byte-identical to
+    ``json.dumps({"c": ..., "k": ..., "t": ..., "v": value},
+    sort_keys=True, separators=(",", ":"))``: the keys are already in
+    sorted order and the value occupies one canonical-form slot.
+    """
     value_text = json.dumps(value, sort_keys=True, separators=(",", ":"))
-    return json.dumps({
-        "t": kind, "k": key, "v": value,
-        "c": _checksum(kind, key, value_text),
-    }, sort_keys=True, separators=(",", ":")) + "\n"
+    checksum = _checksum(kind, key, value_text)
+    return (f'{{"c":{checksum},"k":{json.dumps(key)},'
+            f'"t":{json.dumps(kind)},"v":{value_text}}}\n')
 
 
 def parse_shard_line(line: str) -> tuple[str, str, object] | None:
@@ -174,6 +181,7 @@ class ShardedStore:
         self.root = pathlib.Path(root)
         self._shard_dir = self.root / subdir
         self._shard = None  # lazily opened append handle
+        self._shard_name: str | None = None
         self._loaded = False
         #: Bytes of each shard already indexed, for :meth:`refresh`.
         self._offsets: dict[str, int] = {}
@@ -273,7 +281,25 @@ class ShardedStore:
                 self._shard = os.open(self._shard_dir / name,
                                       os.O_WRONLY | os.O_CREAT | os.O_APPEND,
                                       0o644)
-            os.write(self._shard, line.encode("utf-8"))
+                self._shard_name = name
+            data = line.encode("utf-8")
+            os.write(self._shard, data)
+            # Our own appends are already in the index, so advance the
+            # read offset past them — otherwise every refresh()
+            # re-parses everything this handle ever wrote.  Advance
+            # only when the shard grew by exactly this write: forked
+            # pool workers share the fd, and an interleaved foreign
+            # line must stay ahead of the offset so refresh() still
+            # reads it (re-reading our own lines too — correct, merely
+            # the old behaviour).
+            if self._loaded and self._shard_name is not None:
+                expected = self._offsets.get(self._shard_name, 0)
+                try:
+                    size = os.fstat(self._shard).st_size
+                except OSError:
+                    size = -1
+                if size == expected + len(data):
+                    self._offsets[self._shard_name] = size
             return True
         except OSError:
             # A read-only or full cache directory degrades to in-memory

@@ -90,6 +90,11 @@ def format_sweep_report(result: SweepResult) -> str:
         summary += (f"\ncells: {totals['cells_from_store']:.0f} "
                     f"(mechanism, pfail) cells served by the persistent "
                     f"cell store")
+    if totals.get("dist_batched_rows", 0) > 0:
+        # Same presence rule: the line only appears when the batched
+        # distribution kernel actually prefilled sibling pfail rows.
+        summary += (f"\ndistribution: {totals['dist_batched_rows']:.0f} "
+                    f"pfail rows prefilled by the batched kernel")
     return "\n\n".join([format_sweep_table(result),
                         format_pareto_fronts(result),
                         summary])

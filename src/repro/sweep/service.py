@@ -7,7 +7,13 @@ extracts the Pareto-optimal design points.  The heavy lifting reuses
 stores (solve + classification): grid cells that share work — notably
 all cells along the pfail axis of one geometry, which share every ILP
 objective *and* every classification table — are answered from the
-caches instead of recomputed.
+caches instead of recomputed.  The distribution stage goes further:
+penalty points are pfail-*independent*, so the first cell of each
+geometry computes its whole selected pfail axis in one batched kernel
+pass (:func:`repro.pwcet.batch.penalty_distributions`) and prefills
+the persistent cell store — the remaining grid columns are then
+answered whole from their content addresses, never touching solver,
+analysis or convolution again.
 
 Execution goes through the unified pipeline scheduler
 (:class:`~repro.pipeline.scheduler.PipelineScheduler`): sequentially
@@ -194,8 +200,27 @@ def _estimation_mechanisms(point_mechanisms: tuple[str, ...]
                  if name == "none" or name in point_mechanisms)
 
 
+def _batch_pfails(selection):
+    """Per-mechanism pfail axes for the batched distribution kernel.
+
+    The FMM penalty points are pfail-independent, so the first cell of
+    a geometry can compute its mechanism's *whole* selected pfail axis
+    in one batched pass and prefill the cell store for the remaining
+    grid columns.  Each mechanism's axis holds exactly the pfails at
+    which the selection estimates it (``--only-cells`` filtering
+    included — unselected cells are never computed, batched or not);
+    single-pfail axes are dropped (nothing to amortise).
+    """
+    axes: dict[str, list[float]] = {}
+    for pfail, point_mechanisms in selection.items():
+        for mechanism in _estimation_mechanisms(point_mechanisms):
+            axes.setdefault(mechanism, []).append(pfail)
+    return {mechanism: tuple(pfails)
+            for mechanism, pfails in axes.items() if len(pfails) > 1}
+
+
 def _run_cell_suite(cell_config, benchmarks, workers, probability,
-                    mechanisms, schedule):
+                    mechanisms, schedule, batch_pfails=None):
     """One cell's suite run, memo-bypassing when mechanism-filtered.
 
     The runner memo keys results by (benchmark, config, probability)
@@ -208,14 +233,15 @@ def _run_cell_suite(cell_config, benchmarks, workers, probability,
     if tuple(mechanisms) == SUITE_MECHANISMS:
         return run_suite(cell_config, benchmarks=benchmarks,
                          workers=workers, target_probability=probability,
-                         schedule=schedule)
+                         schedule=schedule, batch_pfails=batch_pfails)
     from repro.pipeline.stages import suite_pipeline
 
     if workers is None:
         workers = cell_config.workers
     computed = suite_pipeline(tuple(benchmarks), cell_config, probability,
                               workers=workers, schedule=schedule,
-                              mechanisms=mechanisms)
+                              mechanisms=mechanisms,
+                              batch_pfails=batch_pfails)
     return [computed[name] for name in benchmarks]
 
 
@@ -234,6 +260,7 @@ def _run_cell_group(item):
      inner_workers, schedule) = item
     from repro.experiments.runner import fresh_results
 
+    batch_pfails = _batch_pfails(selection) if schedule == "cell" else None
     cells = []
     with fresh_results():
         for pfail, point_mechanisms in selection.items():
@@ -241,7 +268,8 @@ def _run_cell_group(item):
                                   workers=1)
             results = _run_cell_suite(
                 cell_config, benchmarks, inner_workers, probability,
-                _estimation_mechanisms(point_mechanisms), schedule)
+                _estimation_mechanisms(point_mechanisms), schedule,
+                batch_pfails)
             cells.append((SweepCell(geometry=geometry, pfail=pfail),
                           results))
     return cells
@@ -334,6 +362,8 @@ def run_sweep(geometries=None, *,
             # of silently dropping it.
             workers = cell_workers
         scheduler = PipelineScheduler(workers=1)
+        batch_pfails = (_batch_pfails(selection) if schedule == "cell"
+                        else None)
         for position, cell in enumerate(cells):
             cell_config = replace(config, geometry=cell.geometry,
                                   pfail=cell.pfail)
@@ -342,7 +372,8 @@ def run_sweep(geometries=None, *,
                 mechanisms = _estimation_mechanisms(selection[cell.pfail])
                 return (cell, _run_cell_suite(cell_config, benchmarks,
                                               workers, probability,
-                                              mechanisms, schedule))
+                                              mechanisms, schedule,
+                                              batch_pfails))
 
             scheduler.add(f"cell:{position}", run_cell, stage="sweep-cell")
 
