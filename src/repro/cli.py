@@ -25,6 +25,13 @@ store *and* the classification store share one directory
 (``REPRO_SOLVE_CACHE=off|<path>``, ``--cache``): a warm re-run of any
 command performs zero backend ILP solves and zero
 abstract-interpretation fixpoints.
+
+``suite`` and ``sweep`` take resilience knobs: transient worker
+crashes and broken pools are always retried; ``--partial`` completes
+what it can around permanently failing benchmarks/cells and exits
+with code 3 (1 when nothing survived), ``--max-attempts`` and
+``--stage-timeout`` tune the retry policy.  See README "Resilience &
+chaos testing".
 """
 
 from __future__ import annotations
@@ -57,6 +64,64 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="persistent solve-cache directory; 'off' "
                              "disables it (default: REPRO_SOLVE_CACHE, "
                              "else the user cache dir)")
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--partial", action="store_true",
+                        help="tolerate permanently failing benchmarks/"
+                             "cells: the rest of the run completes, "
+                             "failures are annotated in the output, "
+                             "and the exit code is 3 (default strict "
+                             "mode aborts on the first permanent "
+                             "failure)")
+    parser.add_argument("--max-attempts", type=int, default=None,
+                        help="attempt budget per stage before a "
+                             "transient fault (killed worker, broken "
+                             "pool, timeout) is quarantined "
+                             "(default 3)")
+    parser.add_argument("--stage-timeout", action="append", default=None,
+                        metavar="[STAGE=]SECONDS",
+                        help="kill and retry a pool stage running "
+                             "longer than SECONDS; prefix with "
+                             "STAGE= to budget one stage kind only "
+                             "(repeatable)")
+
+
+def _retry_from(arguments: argparse.Namespace):
+    """Build a ``RetryPolicy`` from the CLI knobs, or ``None``.
+
+    ``None`` means "the driver's default policy": transient faults are
+    still retried, but no timeout supervision runs and the attempt
+    budget is the library default.
+    """
+    from repro.pipeline.resilience import DEFAULT_RETRY_POLICY, RetryPolicy
+    max_attempts = arguments.max_attempts
+    if max_attempts is not None and max_attempts < 1:
+        raise SystemExit(f"--max-attempts must be >= 1, "
+                         f"got {max_attempts}")
+    timeout = None
+    stage_timeouts: dict[str, float] = {}
+    for spec in arguments.stage_timeout or ():
+        stage, separator, value = spec.rpartition("=")
+        try:
+            seconds = float(value)
+        except ValueError:
+            raise SystemExit("--stage-timeout: expected "
+                             f"[STAGE=]SECONDS, got {spec!r}") from None
+        if seconds <= 0:
+            raise SystemExit("--stage-timeout: SECONDS must be > 0, "
+                             f"got {spec!r}")
+        if separator:
+            stage_timeouts[stage] = seconds
+        else:
+            timeout = seconds
+    if max_attempts is None and timeout is None and not stage_timeouts:
+        return None
+    base = DEFAULT_RETRY_POLICY
+    return RetryPolicy(max_attempts=(max_attempts if max_attempts
+                                     is not None else base.max_attempts),
+                       timeout=timeout,
+                       stage_timeouts=stage_timeouts or None)
 
 
 def _config_from(arguments: argparse.Namespace) -> EstimatorConfig:
@@ -94,10 +159,36 @@ def _command_estimate(arguments: argparse.Namespace) -> int:
 
 def _command_suite(arguments: argparse.Namespace) -> int:
     from repro.experiments import fig4_rows, format_fig4
-    rows = fig4_rows(_config_from(arguments),
-                     target_probability=arguments.probability)
-    print(format_fig4(rows))
-    return 0
+    retry = _retry_from(arguments)
+    if not arguments.partial:
+        rows = fig4_rows(_config_from(arguments),
+                         target_probability=arguments.probability,
+                         retry=retry)
+        print(format_fig4(rows))
+        return 0
+    from repro.experiments.fig4 import row_of
+    from repro.experiments.runner import FailedBenchmark, run_suite
+    results = run_suite(_config_from(arguments),
+                        target_probability=arguments.probability,
+                        strict=False, retry=retry)
+    failed = [item for item in results
+              if isinstance(item, FailedBenchmark)]
+    completed = [item for item in results
+                 if not isinstance(item, FailedBenchmark)]
+    if completed:
+        print(format_fig4([row_of(result) for result in completed]))
+    if not failed:
+        return 0
+    if completed:
+        print()
+    print(f"FAILED benchmarks ({len(failed)} of {len(results)} — "
+          "partial suite):")
+    for item in failed:
+        failure = item.failure
+        print(f"  {item.name}: {failure.stage} "
+              f"[{failure.classification}] after "
+              f"{failure.attempts} attempt(s) — {failure.error}")
+    return 3 if completed else 1
 
 
 def _command_curve(arguments: argparse.Namespace) -> int:
@@ -197,7 +288,9 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
                        cell_workers=arguments.workers,
                        on_cell=stream_cell,
                        only_cells=_parse_only_cells(arguments.only_cells),
-                       probability=arguments.probability)
+                       probability=arguments.probability,
+                       strict=not arguments.partial,
+                       retry=_retry_from(arguments))
     text = format_sweep_report(result)
     if arguments.output:
         with open(arguments.output, "w") as handle:
@@ -205,12 +298,18 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         print(f"sweep report written to {arguments.output}")
     else:
         print(text)
+    if result.failed:
+        # Partial sweep: the report annotates the failed cells; the
+        # exit code tells scripts the grid is incomplete (3) or that
+        # nothing at all survived (1).
+        return 3 if result.points else 1
     return 0
 
 
 def _command_cache_gc(arguments: argparse.Namespace) -> int:
     from repro.solve.gc import gc_cache
-    reports = gc_cache(arguments.cache, dry_run=arguments.dry_run)
+    reports = gc_cache(arguments.cache, dry_run=arguments.dry_run,
+                       fsync=arguments.fsync)
     if not reports:
         print("cache gc: nothing to compact (no shards found, or the "
               "cache is disabled)")
@@ -227,7 +326,8 @@ def _command_cache_gc(arguments: argparse.Namespace) -> int:
 
 def _command_cache_export(arguments: argparse.Namespace) -> int:
     from repro.solve.gc import export_cache
-    reports = export_cache(arguments.tarball, arguments.cache)
+    reports = export_cache(arguments.tarball, arguments.cache,
+                           fsync=arguments.fsync)
     if not reports:
         print("cache export: nothing to pack (no shards found)")
         return 0
@@ -241,7 +341,8 @@ def _command_cache_export(arguments: argparse.Namespace) -> int:
 
 def _command_cache_import(arguments: argparse.Namespace) -> int:
     from repro.solve.gc import import_cache
-    reports = import_cache(arguments.tarball, arguments.cache)
+    reports = import_cache(arguments.tarball, arguments.cache,
+                           fsync=arguments.fsync)
     if not reports:
         print("cache import: no store shards found in "
               f"{arguments.tarball}")
@@ -281,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite = commands.add_parser(
         "suite", help="the Figure 4 survey over all 25 benchmarks")
     _add_config_arguments(suite)
+    _add_resilience_arguments(suite)
     suite.set_defaults(handler=_command_suite)
 
     curve = commands.add_parser(
@@ -334,6 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--output", default=None,
                        help="write the report to a file")
     _add_config_arguments(sweep)
+    _add_resilience_arguments(sweep)
     sweep.set_defaults(handler=_command_sweep)
 
     cache = commands.add_parser(
@@ -350,6 +453,11 @@ def build_parser() -> argparse.ArgumentParser:
     cache_gc.add_argument("--dry-run", action="store_true",
                           help="report what compaction would do without "
                                "touching any shard")
+    cache_gc.add_argument("--fsync", action="store_true",
+                          help="flush each published shard (and its "
+                               "directory entry) to stable storage — "
+                               "durable against power loss, not just "
+                               "torn writes")
     cache_gc.set_defaults(handler=_command_cache_gc)
     cache_export = cache_commands.add_parser(
         "export", help="pack the gc'd canonical shards of every store "
@@ -360,6 +468,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="cache directory to export (default: "
                                    "REPRO_SOLVE_CACHE, else the user "
                                    "cache dir)")
+    cache_export.add_argument("--fsync", action="store_true",
+                              help="flush the finished tarball to "
+                                   "stable storage before the atomic "
+                                   "rename publishes it")
     cache_export.set_defaults(handler=_command_cache_export)
     cache_import = cache_commands.add_parser(
         "import", help="merge a cache tarball content-addressed: novel "
@@ -371,6 +483,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="cache directory to merge into "
                                    "(default: REPRO_SOLVE_CACHE, else "
                                    "the user cache dir)")
+    cache_import.add_argument("--fsync", action="store_true",
+                              help="flush the merged shard to stable "
+                                   "storage before the atomic rename "
+                                   "publishes it")
     cache_import.set_defaults(handler=_command_cache_import)
 
     listing = commands.add_parser("list", help="available benchmarks")

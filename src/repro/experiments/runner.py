@@ -25,6 +25,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+from repro.pipeline.resilience import RetryPolicy, TaskFailure
 from repro.pipeline.scheduler import PipelineStats
 from repro.pipeline.stages import suite_pipeline
 from repro.pwcet import EstimatorConfig, PWCETEstimate
@@ -63,6 +64,21 @@ class BenchmarkResult:
         return 1.0 - self.normalized(mechanism)
 
 
+@dataclass(frozen=True)
+class FailedBenchmark:
+    """A benchmark a ``strict=False`` suite run could not complete.
+
+    Returned in place of a :class:`BenchmarkResult`: ``failure`` is
+    the terminal :class:`~repro.pipeline.resilience.TaskFailure` of
+    the benchmark's result task (for cascades, ``failure.root_key``
+    names the quarantined stage).  Failed benchmarks are never
+    memoised — the next run retries them from scratch.
+    """
+
+    name: str
+    failure: TaskFailure
+
+
 _CACHE: dict[tuple[str, EstimatorConfig, float], BenchmarkResult] = {}
 
 
@@ -85,7 +101,10 @@ def run_suite(config: EstimatorConfig | None = None, *,
               workers: int | None = None,
               pipeline_stats: PipelineStats | None = None,
               schedule: str = "cell",
-              batch_pfails=None) -> list[BenchmarkResult]:
+              batch_pfails=None,
+              strict: bool = True,
+              retry: RetryPolicy | None = None
+              ) -> list[BenchmarkResult | FailedBenchmark]:
     """Run the whole 25-benchmark suite (Figure 4's input data).
 
     ``workers`` (default: the configuration's ``workers`` field) > 1
@@ -103,6 +122,13 @@ def run_suite(config: EstimatorConfig | None = None, *,
     prefill its sibling pfail rows through the batched distribution
     kernel — the sweep's axis amortisation; see
     :func:`~repro.pipeline.stages.benchmark_dag`.
+
+    Resilience: transient faults (killed workers, broken pools) are
+    retried under ``retry`` (default policy) in both modes.  With
+    ``strict=False`` a benchmark whose failure is permanent (or whose
+    retries are exhausted) comes back as a :class:`FailedBenchmark`
+    while the others complete normally; ``pipeline_stats
+    .failure_report`` carries the per-task ledger.
     """
     if config is None:
         config = EstimatorConfig()
@@ -110,16 +136,25 @@ def run_suite(config: EstimatorConfig | None = None, *,
         workers = config.workers
     pending = [name for name in benchmarks
                if (name, config, target_probability) not in _CACHE]
+    failed: dict[str, FailedBenchmark] = {}
     if pending:
         computed = suite_pipeline(tuple(pending), config,
                                   target_probability,
                                   workers=workers, stats=pipeline_stats,
                                   schedule=schedule,
-                                  batch_pfails=batch_pfails)
+                                  batch_pfails=batch_pfails,
+                                  strict=strict, retry=retry)
         for name in pending:
-            _CACHE[(name, config, target_probability)] = computed[name]
-    return [run_benchmark(name, config,
-                          target_probability=target_probability)
+            value = computed[name]
+            if isinstance(value, TaskFailure):
+                # Never memoised: the next invocation retries from
+                # scratch instead of replaying the failure.
+                failed[name] = FailedBenchmark(name=name, failure=value)
+            else:
+                _CACHE[(name, config, target_probability)] = value
+    return [failed[name] if name in failed
+            else run_benchmark(name, config,
+                               target_probability=target_probability)
             for name in benchmarks]
 
 
@@ -163,5 +198,6 @@ def solver_totals(results: list[BenchmarkResult]) -> dict[str, float]:
     """
     stats = PipelineStats()
     for result in results:
-        stats.merge_counters(result.solver_stats)
+        # FailedBenchmark entries of a partial run carry no counters.
+        stats.merge_counters(getattr(result, "solver_stats", None))
     return stats.totals()

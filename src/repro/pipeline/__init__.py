@@ -29,6 +29,15 @@ graph instead of a call stack:
     (:func:`~repro.pipeline.stages.suite_pipeline`,
     :func:`~repro.pipeline.stages.benchmark_dag`).
 
+``resilience``
+    :class:`~repro.pipeline.resilience.RetryPolicy` (attempt budget,
+    deterministic exponential backoff, per-stage timeouts),
+    failure classification (transient worker crashes vs permanent
+    solver errors) and the structured
+    :class:`~repro.pipeline.resilience.FailureReport` that
+    ``strict=False`` partial runs attach to their
+    :class:`PipelineStats`.
+
 ``cellstore``
     :class:`~repro.pipeline.cellstore.CellStore` — the persistent,
     content-addressed store of finished (mechanism, pfail) cells the
@@ -44,6 +53,9 @@ from repro.pipeline.artifacts import (CELL_SCHEMA_VERSION, CellArtifact,
                                       CfgArtifact, ClassificationArtifact,
                                       DistributionArtifact, FmmArtifact,
                                       SolveArtifact, StageArtifact)
+from repro.pipeline.resilience import (DEFAULT_RETRY_POLICY, FailureReport,
+                                       RetryPolicy, StageTimeout,
+                                       TaskFailure, classify_failure)
 from repro.pipeline.scheduler import PipelineScheduler, PipelineStats
 from repro.pipeline.stages import (SUITE_MECHANISMS, benchmark_dag,
                                    cell_stage, classify_stage,
@@ -61,6 +73,12 @@ __all__ = [
     "StageArtifact",
     "PipelineScheduler",
     "PipelineStats",
+    "DEFAULT_RETRY_POLICY",
+    "FailureReport",
+    "RetryPolicy",
+    "StageTimeout",
+    "TaskFailure",
+    "classify_failure",
     "SUITE_MECHANISMS",
     "benchmark_dag",
     "cell_stage",

@@ -1,0 +1,159 @@
+"""Retry, timeout and failure-classification policy for the pipeline.
+
+The paper computes safe bounds *in the presence of faults*; this
+module applies the same discipline to the pipeline's own runtime.
+Failures are split along pandaop's taxonomy (PAPERS.md) into
+
+*transient* faults of the execution substrate — a killed or broken
+pool worker (``BrokenProcessPool``), a stage that overran its timeout
+budget, a torn IPC pipe — which are worth retrying: the pool is
+rebuilt and every in-flight task resubmitted; and
+
+*permanent* faults raised deterministically by the stage body itself
+(:class:`~repro.errors.SolverError`, bad input): the pipeline is a
+deterministic function of content-addressed inputs, so rerunning
+reproduces them.  After ``max_attempts`` the task is *quarantined* —
+recorded as a :class:`TaskFailure` — and only its dependent DAG
+subtree is marked failed (``cascaded``); independent subtrees run to
+completion, so a ``strict=False`` driver reports sound partial
+results rather than nothing.
+
+Recovery never changes results: stages are pure functions of their
+content-addressed inputs, so a replayed stage produces the same bytes
+and a recovered run stays byte-identical to an undisturbed one (the
+chaos CI job diffs exactly this).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import PipelineError
+
+#: Classification labels carried by :class:`TaskFailure`.
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+CASCADED = "cascaded"
+
+
+class StageTimeout(PipelineError):
+    """A pool stage exceeded its timeout budget and was killed."""
+
+
+#: Substrate failures worth retrying.  ``BrokenExecutor`` covers
+#: ``BrokenProcessPool`` (worker SIGKILL / OOM-kill); Connection /
+#: EOF / pipe errors are torn executor IPC, not stage semantics.
+_TRANSIENT_TYPES = (BrokenExecutor, StageTimeout, TimeoutError,
+                    ConnectionError, EOFError, InterruptedError)
+
+
+def classify_failure(error: BaseException) -> str:
+    """``"transient"`` (retry) or ``"permanent"`` (quarantine)."""
+    return TRANSIENT if isinstance(error, _TRANSIENT_TYPES) \
+        else PERMANENT
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the scheduler retries, backs off and times stages out.
+
+    Backoff is deterministic (pure exponential, no jitter): retry
+    ``n`` waits ``min(backoff_cap, backoff_base * 2**(n-1))`` seconds,
+    so a recovered run's retry schedule is reproducible.  ``timeout``
+    bounds every pool stage's wall-clock; ``stage_timeouts`` overrides
+    it per stage name (inline stages cannot be preempted and are not
+    timed out).  ``sleep`` is injectable so tests retry instantly.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    timeout: float | None = None
+    stage_timeouts: dict[str, float] | None = None
+    sleep: Callable[[float], None] = time.sleep
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait after the ``attempt``-th failure (1-based)."""
+        return min(self.backoff_cap,
+                   self.backoff_base * (2.0 ** (max(1, attempt) - 1)))
+
+    def timeout_for(self, stage: str) -> float | None:
+        if self.stage_timeouts and stage in self.stage_timeouts:
+            return self.stage_timeouts[stage]
+        return self.timeout
+
+
+#: The drivers' default: transient recovery on, no stage timeouts.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Terminal failure record standing in for a task's result.
+
+    In ``strict=False`` runs the scheduler's result dict maps a
+    quarantined task's key to one of these instead of a stage value;
+    dependent tasks receive a ``cascaded`` failure pointing at the
+    quarantined root via ``root_key``.
+    """
+
+    key: str
+    stage: str
+    #: ``transient`` / ``permanent`` / ``cascaded``.
+    classification: str
+    #: Execution attempts charged to this task (0 for cascades).
+    attempts: int
+    #: ``TypeName: message`` of the final error.
+    error: str
+    #: In-stage seconds of the final failing attempt (0 when unknown —
+    #: e.g. the victim of a pool break cannot report its time).
+    elapsed: float = 0.0
+    #: For cascades: the quarantined task this failure descends from.
+    root_key: str | None = None
+
+    @property
+    def cascaded(self) -> bool:
+        return self.classification == CASCADED
+
+
+@dataclass
+class FailureReport:
+    """Structured resilience accounting of one pipeline run.
+
+    Lives on :class:`~repro.pipeline.scheduler.PipelineStats`, so
+    every driver that already threads ``pipeline_stats`` gets the
+    failure ledger for free.  ``failures`` lists terminal records only
+    (quarantines and their cascades) — a retried-then-recovered task
+    shows up solely in the ``retries`` counter, keeping clean-run
+    reports structurally empty.
+    """
+
+    failures: list[TaskFailure] = field(default_factory=list)
+    #: Resubmissions after a transient failure.
+    retries: int = 0
+    #: Pool stages killed for overrunning their timeout budget.
+    timeouts: int = 0
+    #: Worker-pool rebuilds (pool breaks + timeout kills).
+    pool_rebuilds: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def quarantined(self) -> tuple[TaskFailure, ...]:
+        """Root failures only (cascades excluded)."""
+        return tuple(failure for failure in self.failures
+                     if failure.classification != CASCADED)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "failed_tasks": len(self.failures),
+            "quarantined": len(self.quarantined),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+        }

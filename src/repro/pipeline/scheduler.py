@@ -57,11 +57,15 @@ import heapq
 import time
 import uuid
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import (FIRST_COMPLETED, Future,
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor, Future,
                                 ProcessPoolExecutor, wait)
 from dataclasses import dataclass, field
 
 from repro.errors import PipelineError
+from repro.pipeline.resilience import (CASCADED, TRANSIENT, FailureReport,
+                                       RetryPolicy, StageTimeout,
+                                       TaskFailure, classify_failure)
+from repro.testing import faultinject
 
 
 @dataclass
@@ -90,6 +94,14 @@ class PipelineStats:
     counters: dict[str, float] = field(default_factory=dict)
     #: Wall-clock seconds spent inside :meth:`PipelineScheduler.run`.
     wall_seconds: float = 0.0
+    #: Resilience ledger: terminal task failures plus retry / timeout /
+    #: pool-rebuild counters (empty on a clean run).
+    failure_report: FailureReport = field(default_factory=FailureReport)
+
+    @property
+    def partial(self) -> bool:
+        """True when some task terminally failed (``strict=False``)."""
+        return bool(self.failure_report.failures)
 
     def count_task(self, stage: str) -> None:
         self.tasks[stage] = self.tasks.get(stage, 0) + 1
@@ -172,6 +184,7 @@ def _run_pool_task(fn: Callable, args: tuple) -> tuple[object, float]:
     Returns ``(value, seconds)`` so the parent can attribute in-worker
     wall-clock to the task's stage.
     """
+    faultinject.worker_hook(getattr(fn, "__name__", str(fn)))
     started = time.perf_counter()
     value = fn(*args)
     return value, time.perf_counter() - started
@@ -209,11 +222,24 @@ def _solve_chunk(token: str, snapshot: object,
 class PipelineScheduler:
     """Executes typed-artifact DAGs over one shared worker pool."""
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(self, workers: int = 1, *,
+                 retry: RetryPolicy | None = None,
+                 strict: bool = True) -> None:
         self.workers = max(1, int(workers))
+        #: Resilience policy; ``None`` disables retry/timeout handling
+        #: entirely — failures propagate raw, exactly the pre-policy
+        #: behaviour.
+        self.retry = retry
+        #: ``strict=True`` re-raises the original error on the first
+        #: quarantine; ``strict=False`` completes the run with
+        #: :class:`TaskFailure` sentinels in the result dict.
+        self.strict = bool(strict)
         self._tasks: dict[str, _Task] = {}
         self._pool: ProcessPoolExecutor | None = None
         self._running = False
+        #: The running :class:`FailureReport` (``map_solves`` charges
+        #: its pool rebuilds here while a DAG run is active).
+        self._report: FailureReport | None = None
         #: Distinguishes this scheduler's snapshots in worker memos.
         self._token = uuid.uuid4().hex
 
@@ -338,6 +364,9 @@ class PipelineScheduler:
         tasks, self._tasks = self._tasks, {}
         if stats is None:
             stats = PipelineStats()
+        policy = self.retry
+        report = stats.failure_report
+        self._report = report
         self._running = True
         started = time.perf_counter()
         satisfied, demanded, _will_run = self._plan(tasks)
@@ -363,40 +392,194 @@ class PipelineScheduler:
 
         results: dict[str, object] = {}
         in_flight: dict[Future, str] = {}
+        #: Failed execution attempts charged per task key.
+        attempts: dict[str, int] = {}
+        #: Monotonic wall-clock deadline per in-flight future (only
+        #: futures whose stage has a timeout budget appear here).
+        deadlines: dict[Future, float] = {}
 
         def unblock(key: str) -> None:
             for dependent in dependents[key]:
                 missing[dependent] -= 1
                 if missing[dependent] == 0 \
                         and dependent not in satisfied:
-                    push_ready(tasks[dependent])
+                    dep_failure = next(
+                        (results[dep] for dep in tasks[dependent].deps
+                         if isinstance(results.get(dep), TaskFailure)),
+                        None)
+                    if dep_failure is not None:
+                        cascade(dependent, dep_failure)
+                    else:
+                        push_ready(tasks[dependent])
+
+        def cascade(key: str, dep_failure: TaskFailure) -> None:
+            """Fail a task whose dependency terminally failed."""
+            # A cascade's error already names the quarantined root
+            # (transitively); a fresh one records the root's cause so
+            # report annotations show *why*, not just *where*.
+            message = dep_failure.error if dep_failure.cascaded else (
+                f"dependency {dep_failure.key!r} failed "
+                f"({dep_failure.error})")
+            complete(key, TaskFailure(
+                key=key, stage=tasks[key].stage,
+                classification=CASCADED, attempts=0,
+                error=message,
+                root_key=dep_failure.root_key or dep_failure.key))
+
+        def quarantine(key: str, error: BaseException,
+                       classification: str,
+                       elapsed: float = 0.0) -> None:
+            """Terminally fail a task: raise (strict) or record."""
+            failure = TaskFailure(
+                key=key, stage=tasks[key].stage,
+                classification=classification,
+                attempts=attempts.get(key, 0),
+                error=f"{type(error).__name__}: {error}",
+                elapsed=elapsed)
+            if self.strict:
+                report.failures.append(failure)
+                raise error
+            complete(key, failure)
 
         def complete(key: str, value: object) -> None:
             results[key] = value
-            stats.count_task(tasks[key].stage)
+            if isinstance(value, TaskFailure):
+                report.failures.append(value)
+            else:
+                stats.count_task(tasks[key].stage)
             unblock(key)
             if on_task is not None:
                 on_task(key, value, len(results), len(tasks))
 
         def run_inline(key: str) -> None:
             task = tasks[key]
-            stage_started = time.perf_counter()
-            value = task.fn(*task.args,
-                            *(results[dep] for dep in task.deps))
-            stats.add_stage_seconds(
-                task.stage, time.perf_counter() - stage_started)
-            complete(key, value)
+            while True:
+                stage_started = time.perf_counter()
+                try:
+                    value = task.fn(*task.args,
+                                    *(results[dep] for dep in task.deps))
+                except Exception as error:
+                    elapsed = time.perf_counter() - stage_started
+                    stats.add_stage_seconds(task.stage, elapsed)
+                    if policy is None:
+                        raise
+                    attempts[key] = attempts.get(key, 0) + 1
+                    if (classify_failure(error) == TRANSIENT
+                            and attempts[key] < policy.max_attempts):
+                        report.retries += 1
+                        policy.sleep(policy.backoff(attempts[key]))
+                        continue
+                    quarantine(key, error, classify_failure(error),
+                               elapsed)
+                    return
+                stats.add_stage_seconds(
+                    task.stage, time.perf_counter() - stage_started)
+                complete(key, value)
+                return
+
+        def pool_break(first_key: str, error: BaseException) -> None:
+            """A worker died and broke the pool: every in-flight
+            future is lost and the victim is unknowable, so each one
+            is charged an attempt, the pool is rebuilt, and survivors
+            of the attempt budget are resubmitted."""
+            report.pool_rebuilds += 1
+            victims = [first_key] + list(in_flight.values())
+            in_flight.clear()
+            deadlines.clear()
+            self._discard_pool()
+            for key in victims:
+                attempts[key] = attempts.get(key, 0) + 1
+                if attempts[key] < policy.max_attempts:
+                    report.retries += 1
+                    push_ready(tasks[key])
+                else:
+                    quarantine(key, error, TRANSIENT)
+
+        def worker_error(key: str, error: BaseException) -> None:
+            """The stage body raised inside a live worker."""
+            attempts[key] = attempts.get(key, 0) + 1
+            if (classify_failure(error) == TRANSIENT
+                    and attempts[key] < policy.max_attempts):
+                report.retries += 1
+                policy.sleep(policy.backoff(attempts[key]))
+                push_ready(tasks[key])
+            else:
+                quarantine(key, error, classify_failure(error))
+
+        def expire_timeouts() -> None:
+            now = time.monotonic()
+            expired = {future for future, deadline in deadlines.items()
+                       if deadline <= now and not future.done()}
+            if not expired:
+                return
+            # A running pool task cannot be cancelled — kill the
+            # workers and rebuild.  Innocent in-flight tasks are not
+            # charged an attempt: finished ones are harvested, the
+            # rest resubmitted.
+            report.pool_rebuilds += 1
+            harvested: list[tuple[str, object, float]] = []
+            resubmit: list[str] = []
+            expired_keys: list[str] = []
+            for future, key in in_flight.items():
+                if future in expired:
+                    expired_keys.append(key)
+                elif (future.done() and not future.cancelled()
+                        and future.exception() is None):
+                    value, seconds = future.result()
+                    harvested.append((key, value, seconds))
+                else:
+                    resubmit.append(key)
+            in_flight.clear()
+            deadlines.clear()
+            self._kill_pool()
+            for key, value, seconds in harvested:
+                stats.add_stage_seconds(tasks[key].stage, seconds)
+                complete(key, value)
+            for key in resubmit:
+                push_ready(tasks[key])
+            for key in sorted(expired_keys):
+                report.timeouts += 1
+                attempts[key] = attempts.get(key, 0) + 1
+                budget = policy.timeout_for(tasks[key].stage)
+                error = StageTimeout(
+                    f"stage task {key!r} exceeded its {budget:g}s "
+                    f"timeout budget")
+                if attempts[key] < policy.max_attempts:
+                    report.retries += 1
+                    push_ready(tasks[key])
+                else:
+                    quarantine(key, error, TRANSIENT)
 
         def drain(block: bool) -> None:
             if not in_flight:
                 return
+            timeout = None if block else 0.0
+            if deadlines:
+                budget = max(0.0, min(deadlines.values())
+                             - time.monotonic())
+                timeout = budget if timeout is None \
+                    else min(timeout, budget)
             done, _ = wait(in_flight, return_when=FIRST_COMPLETED,
-                           timeout=None if block else 0)
+                           timeout=timeout)
             for future in done:
-                key = in_flight.pop(future)
-                value, seconds = future.result()
+                key = in_flight.pop(future, None)
+                if key is None:
+                    continue  # reaped by a pool break in this batch
+                deadlines.pop(future, None)
+                try:
+                    value, seconds = future.result()
+                except Exception as error:
+                    if policy is None:
+                        raise
+                    if isinstance(error, BrokenExecutor):
+                        pool_break(key, error)
+                        continue
+                    worker_error(key, error)
+                    continue
                 stats.add_stage_seconds(tasks[key].stage, seconds)
                 complete(key, value)
+            if policy is not None and deadlines:
+                expire_timeouts()
 
         # Initially-ready runnable tasks first (their missing count is
         # 0 from the start, so the unblock path below never re-pushes
@@ -423,9 +606,23 @@ class PipelineScheduler:
                     task = tasks[key]
                     payload = task.args + tuple(results[dep]
                                                 for dep in task.deps)
-                    future = self._ensure_pool().submit(
-                        _run_pool_task, task.fn, payload)
+                    try:
+                        future = self._ensure_pool().submit(
+                            _run_pool_task, task.fn, payload)
+                    except BrokenExecutor as error:
+                        # A worker died between drain() and this
+                        # submit: the executor refuses new work before
+                        # the in-flight futures have surfaced the
+                        # break.  Same recovery as a future-side break.
+                        if policy is None:
+                            raise
+                        pool_break(key, error)
+                        continue
                     in_flight[future] = key
+                    budget = (policy.timeout_for(task.stage)
+                              if policy is not None else None)
+                    if budget is not None:
+                        deadlines[future] = time.monotonic() + budget
                 if ready_inline:
                     _, _, key = heapq.heappop(ready_inline)
                     run_inline(key)
@@ -446,6 +643,7 @@ class PipelineScheduler:
         finally:
             stats.wall_seconds += time.perf_counter() - started
             self._running = False
+            self._report = None
             self._close_pool()
         return results
 
@@ -472,12 +670,8 @@ class PipelineScheduler:
                   for i in range(0, len(payload), max(1, chunksize))]
         scoped_token = f"{self._token}:{token}"
         if self._pool is not None or self._running:
-            pool = self._ensure_pool()
-            futures = [pool.submit(_solve_chunk, scoped_token,
-                                   snapshot, chunk)
-                       for chunk in chunks]
-            return [value for future in futures
-                    for value in future.result()]
+            return self._map_on_shared_pool(scoped_token, snapshot,
+                                            chunks)
         with ProcessPoolExecutor(
                 max_workers=min(workers or self.workers,
                                 len(chunks))) as pool:
@@ -485,6 +679,59 @@ class PipelineScheduler:
                                    chunk) for chunk in chunks]
             return [value for future in futures
                     for value in future.result()]
+
+    def _map_on_shared_pool(self, scoped_token: str, snapshot: object,
+                            chunks: list[list]) -> list[int]:
+        """Run solve chunks on the shared pool, rebuilding on breaks.
+
+        A killed solve worker breaks the whole pool; with a retry
+        policy the pool is rebuilt and only the unfinished chunks are
+        resubmitted (order is preserved by chunk slot).  Without a
+        policy the break propagates raw, as before.
+        """
+        slots: list[list[int] | None] = [None] * len(chunks)
+        batch_attempts = 0
+        while any(slot is None for slot in slots):
+            pool = self._ensure_pool()
+            broken: BaseException | None = None
+            futures: dict[Future, int] = {}
+            for index, slot in enumerate(slots):
+                if slot is not None:
+                    continue
+                try:
+                    futures[pool.submit(_solve_chunk, scoped_token,
+                                        snapshot, chunks[index])] = index
+                except BrokenExecutor as error:
+                    # The shared pool broke (a DAG stage's worker was
+                    # killed) before this batch fully submitted; the
+                    # chunks already in are harvested below, the rest
+                    # resubmit on the rebuilt pool.
+                    broken = error
+                    break
+            for future, index in futures.items():
+                if broken is None:
+                    try:
+                        slots[index] = future.result()
+                        continue
+                    except BrokenExecutor as error:
+                        broken = error
+                # The pool already broke: harvest chunks that
+                # finished before the break, leave the rest unfilled.
+                if (future.done() and not future.cancelled()
+                        and future.exception() is None):
+                    slots[index] = future.result()
+            if broken is None:
+                break
+            batch_attempts += 1
+            allowed = (self.retry.max_attempts
+                       if self.retry is not None else 1)
+            if batch_attempts >= allowed:
+                raise broken
+            if self._report is not None:
+                self._report.pool_rebuilds += 1
+                self._report.retries += 1
+            self._discard_pool()
+        return [value for slot in slots for value in slot]
 
     # -- pool lifecycle -------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -496,3 +743,24 @@ class PipelineScheduler:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def _discard_pool(self) -> None:
+        """Drop a broken pool (its workers are already dead); the next
+        ``_ensure_pool`` builds a fresh one."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _kill_pool(self) -> None:
+        """Forcibly terminate the pool's workers — the escape hatch
+        for a hung stage (a running pool task cannot be cancelled)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for process in list((getattr(pool, "_processes", None)
+                             or {}).values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)

@@ -67,6 +67,7 @@ from repro.faults import FaultProbabilityModel
 from repro.pipeline.artifacts import (CellArtifact, CfgArtifact,
                                       ClassificationArtifact,
                                       DistributionArtifact)
+from repro.pipeline.resilience import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.pipeline.scheduler import PipelineScheduler, PipelineStats
 from repro.reliability import ReliabilityMechanism, mechanism_by_name
 from repro.solve.store import store_context
@@ -484,13 +485,24 @@ def suite_pipeline(benchmarks, config, target_probability: float, *,
                    phase_barrier: bool = False,
                    schedule: str = "cell",
                    mechanisms=SUITE_MECHANISMS,
-                   batch_pfails=None) -> dict[str, object]:
+                   batch_pfails=None,
+                   strict: bool = True,
+                   retry: "RetryPolicy | None" = None
+                   ) -> dict[str, object]:
     """Run the suite DAG; returns BenchmarkResults keyed by name.
 
     ``workers > 1`` executes every stage family on one shared process
     pool with only artifact dependencies between them; ``workers=1``
     runs the same DAG inline in deterministic dispatch order.
     Results are bit-identical either way.
+
+    Resilience: the scheduler runs under ``retry`` (default
+    :data:`~repro.pipeline.resilience.DEFAULT_RETRY_POLICY` — killed
+    workers and broken pools are recovered transparently).  With
+    ``strict=False`` a permanently-failing benchmark yields a
+    :class:`~repro.pipeline.resilience.TaskFailure` in the returned
+    dict instead of aborting the suite; ``strict=True`` re-raises the
+    original error after retries are exhausted.
 
     ``schedule`` selects the DAG shape: ``"cell"`` (default) fans the
     distribution work out per (mechanism, pfail) cell with plan-pass
@@ -508,7 +520,10 @@ def suite_pipeline(benchmarks, config, target_probability: float, *,
     # task (and one result entry), exactly like the memoised runner.
     benchmarks = tuple(dict.fromkeys(benchmarks))
     if scheduler is None:
-        scheduler = PipelineScheduler(workers=workers)
+        scheduler = PipelineScheduler(
+            workers=workers,
+            retry=retry if retry is not None else DEFAULT_RETRY_POLICY,
+            strict=strict)
     # A single benchmark still fans out over its cells, but runs them
     # inline and lets the configuration's own worker width drive the
     # per-ILP batches instead (the historical behaviour).
@@ -553,5 +568,7 @@ def suite_pipeline(benchmarks, config, target_probability: float, *,
         result = results[result_keys[name]]
         suite[name] = result
         if stats is not None:
-            stats.merge_counters(result.solver_stats)
+            # A strict=False run maps a failed benchmark's key to a
+            # TaskFailure sentinel, which carries no counters.
+            stats.merge_counters(getattr(result, "solver_stats", None))
     return suite

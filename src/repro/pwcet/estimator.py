@@ -261,7 +261,8 @@ class PWCETEstimator:
         return {**self._planner.stats.as_dict(),
                 **self._analysis.stats.as_dict(),
                 "fault_pmf_hits": pmf_stats.hits,
-                "fault_pmf_misses": pmf_stats.misses}
+                "fault_pmf_misses": pmf_stats.misses,
+                "fault_pmf_evicted": pmf_stats.evicted}
 
     @property
     def store(self):

@@ -40,23 +40,30 @@ AllFaultyFilter = Callable[[int], AllFaultyClassifier]
 
 @dataclass
 class FaultPmfCacheStats:
-    """Hit/miss counters of the process-wide fault-pmf memo."""
+    """Hit/miss/eviction counters of the process-wide fault-pmf memo."""
 
     hits: int = 0
     misses: int = 0
+    evicted: int = 0
 
 
 #: Process-wide fault-pmf memo, keyed (mechanism name, geometry,
 #: pfail): every (benchmark, mechanism, pfail) cell of a suite or
 #: sweep shares the identical binomial weights, so the eq. 2 / eq. 3
 #: evaluation runs once per distinct key instead of once per cell.
+#: Bounded: long-lived processes sweeping many (geometry, pfail)
+#: points evict least-recently-used entries past ``_FAULT_PMF_LIMIT``
+#: instead of growing without bound (dict order is the LRU order —
+#: hits reinsert their key at the end).
 _FAULT_PMF_CACHE: dict[tuple, dict[int, float]] = {}
 _FAULT_PMF_STATS = FaultPmfCacheStats()
+_FAULT_PMF_LIMIT = 128
 
 
 def fault_pmf_cache_stats() -> FaultPmfCacheStats:
-    """The live hit/miss counters of the fault-pmf memo (process
-    scope — cumulative across every estimation of this process)."""
+    """The live hit/miss/eviction counters of the fault-pmf memo
+    (process scope — cumulative across every estimation of this
+    process)."""
     return _FAULT_PMF_STATS
 
 
@@ -65,6 +72,7 @@ def reset_fault_pmf_cache() -> None:
     _FAULT_PMF_CACHE.clear()
     _FAULT_PMF_STATS.hits = 0
     _FAULT_PMF_STATS.misses = 0
+    _FAULT_PMF_STATS.evicted = 0
 
 
 class ReliabilityMechanism(ABC):
@@ -86,12 +94,16 @@ class ReliabilityMechanism(ABC):
         immutable; subclasses implement :meth:`_compute_fault_pmf`.
         """
         key = (self.name, model.geometry, model.pfail)
-        cached = _FAULT_PMF_CACHE.get(key)
+        cached = _FAULT_PMF_CACHE.pop(key, None)
         if cached is not None:
             _FAULT_PMF_STATS.hits += 1
+            _FAULT_PMF_CACHE[key] = cached  # refresh LRU position
             return cached
         _FAULT_PMF_STATS.misses += 1
         value = _FAULT_PMF_CACHE[key] = self._compute_fault_pmf(model)
+        while len(_FAULT_PMF_CACHE) > _FAULT_PMF_LIMIT:
+            _FAULT_PMF_CACHE.pop(next(iter(_FAULT_PMF_CACHE)))
+            _FAULT_PMF_STATS.evicted += 1
         return value
 
     @abstractmethod

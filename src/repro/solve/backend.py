@@ -35,6 +35,7 @@ import numpy as np
 from scipy import optimize, sparse
 
 from repro.errors import SolverError
+from repro.testing import faultinject
 
 try:  # scipy's vendored HiGHS bindings are a private, but stable, API.
     from scipy.optimize._highspy import _core as _highs_core
@@ -129,14 +130,23 @@ class SolverBackend(ABC):
     def __init__(self, snapshot: ProgramSnapshot) -> None:
         self.snapshot = snapshot
 
-    @abstractmethod
     def solve(self, objective: Mapping[int, float], sign: float,
               relaxed: bool) -> tuple[float, np.ndarray]:
         """Optimise ``sign``-adjusted objective; returns (value, x).
 
         ``sign=-1`` maximises, ``sign=1`` minimises, matching the
         historical :class:`~repro.ipet.ilp.LinearProgram` convention.
+        Template method: the chaos harness's ``solve`` site fires
+        here (per-program delays and injected failures), then the
+        backend-specific ``_solve`` runs.
         """
+        faultinject.solve_hook(self.snapshot.name)
+        return self._solve(objective, sign, relaxed)
+
+    @abstractmethod
+    def _solve(self, objective: Mapping[int, float], sign: float,
+               relaxed: bool) -> tuple[float, np.ndarray]:
+        """Backend-specific solve (see :meth:`solve`)."""
 
     def _cost_vector(self, objective: Mapping[int, float],
                      sign: float) -> np.ndarray:
@@ -165,8 +175,8 @@ class ScipyBackend(SolverBackend):
                 snapshot.row_upper))
         self._integrality = {False: np.ones(n), True: np.zeros(n)}
 
-    def solve(self, objective: Mapping[int, float], sign: float,
-              relaxed: bool) -> tuple[float, np.ndarray]:
+    def _solve(self, objective: Mapping[int, float], sign: float,
+               relaxed: bool) -> tuple[float, np.ndarray]:
         result = optimize.milp(c=self._cost_vector(objective, sign),
                                constraints=self._constraints,
                                bounds=self._bounds,
@@ -224,8 +234,8 @@ class HighsBackend(SolverBackend):
             self._solvers[relaxed] = self._build(relaxed)
         return self._solvers[relaxed]
 
-    def solve(self, objective: Mapping[int, float], sign: float,
-              relaxed: bool) -> tuple[float, np.ndarray]:
+    def _solve(self, objective: Mapping[int, float], sign: float,
+               relaxed: bool) -> tuple[float, np.ndarray]:
         core = _highs_core
         solver = self._solver(relaxed)
         solver.changeColsCost(self.snapshot.num_variables, self._indices,

@@ -48,6 +48,31 @@ from repro.solve.store import (SolveStore, encode_shard_line,
 GC_SHARD_NAME = "shard-00000000-gc.jsonl"
 
 
+def _replace_atomic(tmp: pathlib.Path, target: pathlib.Path, *,
+                    fsync: bool = False) -> None:
+    """Publish ``tmp`` as ``target`` via ``os.replace``.
+
+    With ``fsync`` the file's bytes are flushed to stable storage
+    before the rename and the directory entry after it, so a crash
+    leaves either the old state or the complete new one — never a
+    rename pointing at unwritten data.  Without it the rename is still
+    atomic against concurrent readers, just not against power loss.
+    """
+    if fsync:
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+    os.replace(tmp, target)
+    if fsync:
+        dir_fd = os.open(target.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+
 @dataclass(frozen=True)
 class CompactionReport:
     """What compaction did (or would do) to one schema directory."""
@@ -126,7 +151,8 @@ def _fold_shards(shard_dir: pathlib.Path) -> _FoldedShards | None:
 
 
 def compact_shard_dir(shard_dir: str | os.PathLike, *,
-                      dry_run: bool = False) -> CompactionReport | None:
+                      dry_run: bool = False,
+                      fsync: bool = False) -> CompactionReport | None:
     """Fold one schema directory's shards; ``None`` if none exist."""
     shard_dir = pathlib.Path(shard_dir)
     folded = _fold_shards(shard_dir)
@@ -139,7 +165,7 @@ def compact_shard_dir(shard_dir: str | os.PathLike, *,
     if not dry_run:
         tmp = shard_dir / f".gc-tmp-{os.getpid()}"
         tmp.write_text(compacted, encoding="utf-8")
-        os.replace(tmp, shard_dir / GC_SHARD_NAME)
+        _replace_atomic(tmp, shard_dir / GC_SHARD_NAME, fsync=fsync)
         for shard in shards:
             if shard.name != GC_SHARD_NAME:
                 try:
@@ -196,7 +222,8 @@ class ImportReport:
 
 
 def export_cache(tarball: str | os.PathLike,
-                 cache: str | None = None) -> list[ExportReport]:
+                 cache: str | None = None, *,
+                 fsync: bool = False) -> list[ExportReport]:
     """Pack the gc'd canonical shards of every store into a tarball.
 
     The live cache directory is read, validated and folded exactly
@@ -204,6 +231,11 @@ def export_cache(tarball: str | os.PathLike,
     collapsed last-wins) but left untouched; the tarball holds one
     canonical sorted shard per schema directory, so importing peers
     get the same bytes however fragmented the exporter's store was.
+
+    The tarball is built in a same-directory temporary file and
+    published by an atomic rename: a crashed or killed export never
+    leaves a truncated archive at the target path (a reader sees the
+    previous archive or the complete new one, nothing in between).
     """
     store = SolveStore.resolve(cache)
     if store is None:
@@ -211,25 +243,32 @@ def export_cache(tarball: str | os.PathLike,
             "cannot export: the persistent cache is disabled "
             "(REPRO_SOLVE_CACHE=off)")
     reports = []
-    with tarfile.open(tarball, "w:gz") as archive:
-        for shard_dir in collect_shard_dirs(store.root):
-            folded = _fold_shards(shard_dir)
-            if folded is None:
-                continue
-            payload = folded.canonical_text().encode("utf-8")
-            member = tarfile.TarInfo(
-                name=f"{shard_dir.name}/{GC_SHARD_NAME}")
-            member.size = len(payload)
-            member.mtime = int(time.time())
-            archive.addfile(member, io.BytesIO(payload))
-            reports.append(ExportReport(directory=shard_dir.name,
-                                        entries=len(folded.entries),
-                                        bytes=len(payload)))
+    target = pathlib.Path(tarball)
+    tmp = target.parent / f".{target.name}.tmp-{os.getpid()}"
+    try:
+        with tarfile.open(tmp, "w:gz") as archive:
+            for shard_dir in collect_shard_dirs(store.root):
+                folded = _fold_shards(shard_dir)
+                if folded is None:
+                    continue
+                payload = folded.canonical_text().encode("utf-8")
+                member = tarfile.TarInfo(
+                    name=f"{shard_dir.name}/{GC_SHARD_NAME}")
+                member.size = len(payload)
+                member.mtime = int(time.time())
+                archive.addfile(member, io.BytesIO(payload))
+                reports.append(ExportReport(directory=shard_dir.name,
+                                            entries=len(folded.entries),
+                                            bytes=len(payload)))
+        _replace_atomic(tmp, target, fsync=fsync)
+    finally:
+        tmp.unlink(missing_ok=True)
     return reports
 
 
 def import_cache(tarball: str | os.PathLike,
-                 cache: str | None = None) -> list[ImportReport]:
+                 cache: str | None = None, *,
+                 fsync: bool = False) -> list[ImportReport]:
     """Merge a cache tarball into the local store, content-addressed.
 
     Every shard line of the archive is validated like the stores do on
@@ -297,7 +336,7 @@ def import_cache(tarball: str | os.PathLike,
                     f"{uuid.uuid4().hex[:8]}-import.jsonl")
             tmp = shard_dir / f".import-tmp-{os.getpid()}"
             tmp.write_text("".join(novel), encoding="utf-8")
-            os.replace(tmp, shard_dir / name)
+            _replace_atomic(tmp, shard_dir / name, fsync=fsync)
         reports.append(ImportReport(
             directory=directory, entries_seen=len(entries),
             imported=len(novel), already_present=already,
@@ -334,19 +373,22 @@ def _is_schema_dir_name(name: str) -> bool:
 
 
 def gc_cache(cache: str | None = None, *,
-             dry_run: bool = False) -> list[CompactionReport]:
+             dry_run: bool = False,
+             fsync: bool = False) -> list[CompactionReport]:
     """Compact the cache directory selected like the stores select it.
 
     ``cache`` follows the ``REPRO_SOLVE_CACHE`` convention (``None``
     defers to the environment / default directory; ``"off"`` means
-    there is nothing to compact).
+    there is nothing to compact).  ``fsync`` makes each published
+    shard durable against power loss, not just torn writes.
     """
     store = SolveStore.resolve(cache)
     if store is None:
         return []
     reports = []
     for shard_dir in collect_shard_dirs(store.root):
-        report = compact_shard_dir(shard_dir, dry_run=dry_run)
+        report = compact_shard_dir(shard_dir, dry_run=dry_run,
+                                   fsync=fsync)
         if report is not None:
             reports.append(report)
     return reports

@@ -46,6 +46,8 @@ import uuid
 import zlib
 from dataclasses import dataclass, field
 
+from repro.testing import faultinject
+
 #: Bump on ANY change to the entry format, the key derivation, or the
 #: meaning of stored values.  Old entries live under another ``v<N>``
 #: subdirectory and are never even loaded.
@@ -220,6 +222,11 @@ class ShardedStore:
         still stops before it, so a later completion is not lost).
         """
         offset = self._offsets.get(shard.name, 0)
+        if faultinject.fire("store", self._shard_dir.name,
+                            actions=("read_error",)) is not None:
+            # Injected unreadable shard: same degradation as the
+            # OSError path below — skip this pass, recompute later.
+            return
         try:
             with open(shard, "rb") as handle:
                 handle.seek(offset)
@@ -283,6 +290,15 @@ class ShardedStore:
                                       0o644)
                 self._shard_name = name
             data = line.encode("utf-8")
+            if faultinject.fire("store", self._shard_dir.name,
+                                actions=("truncate_tail",)) is not None:
+                # Injected torn write: persist only half the line and
+                # drop the shard handle, exactly what a writer killed
+                # mid-append leaves behind.  A fresh load discards the
+                # truncated tail as corrupt and recomputes the entry.
+                os.write(self._shard, data[:max(1, len(data) // 2)])
+                self.close()
+                return False
             os.write(self._shard, data)
             # Our own appends are already in the index, so advance the
             # read offset past them — otherwise every refresh()
@@ -315,15 +331,26 @@ class ShardedStore:
         self._loaded = False
 
     def close(self) -> None:
-        if self._shard is not None:
+        """Close the append handle; idempotent and safe on instances
+        whose ``__init__`` never completed (``getattr``: ``__del__``
+        may run with no ``_shard`` attribute at all)."""
+        shard = getattr(self, "_shard", None)
+        self._shard = None
+        self._shard_name = getattr(self, "_shard_name", None)
+        if shard is not None:
             try:
-                os.close(self._shard)
+                os.close(shard)
             except OSError:
                 pass
-            self._shard = None
 
     def __del__(self):  # pragma: no cover - interpreter shutdown order
-        self.close()
+        # Interpreter shutdown may collect a partially-initialised
+        # instance or run after module globals are gone; never let a
+        # destructor raise.
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 class SolveStore(ShardedStore):

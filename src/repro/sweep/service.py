@@ -34,6 +34,7 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, replace
 
+from repro.pipeline.resilience import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.pipeline.scheduler import PipelineScheduler
 
 from repro.errors import ConfigurationError
@@ -80,6 +81,20 @@ class DesignPoint:
 
 
 @dataclass(frozen=True)
+class FailedCell:
+    """A grid cell a ``strict=False`` sweep could not complete.
+
+    The cell emits no design points; ``benchmarks`` names the suite
+    members that failed and ``reason`` carries the first failure's
+    ``TypeName: message``.
+    """
+
+    cell: SweepCell
+    benchmarks: tuple[str, ...]
+    reason: str
+
+
+@dataclass(frozen=True)
 class SweepResult:
     """Everything one sweep produced."""
 
@@ -88,6 +103,9 @@ class SweepResult:
     probability: float
     #: Planner counters summed over every estimation of the sweep.
     solver_totals: dict[str, float]
+    #: Cells dropped by a ``strict=False`` partial run (grid order);
+    #: empty on a complete sweep.
+    failed: tuple[FailedCell, ...] = ()
 
     def cells(self) -> tuple[SweepCell, ...]:
         seen: dict[SweepCell, None] = {}
@@ -220,20 +238,25 @@ def _batch_pfails(selection):
 
 
 def _run_cell_suite(cell_config, benchmarks, workers, probability,
-                    mechanisms, schedule, batch_pfails=None):
+                    mechanisms, schedule, batch_pfails=None,
+                    strict=True, retry=None):
     """One cell's suite run, memo-bypassing when mechanism-filtered.
 
     The runner memo keys results by (benchmark, config, probability)
     only — a subset-mechanism result must never land there, or later
     full-grid drivers would read estimates with missing mechanisms.
-    Filtered cells therefore go straight to the pipeline.
+    Filtered cells therefore go straight to the pipeline.  With
+    ``strict=False`` failed benchmarks come back as
+    :class:`~repro.experiments.runner.FailedBenchmark` entries.
     """
-    from repro.experiments.runner import run_suite
+    from repro.experiments.runner import FailedBenchmark, run_suite
 
     if tuple(mechanisms) == SUITE_MECHANISMS:
         return run_suite(cell_config, benchmarks=benchmarks,
                          workers=workers, target_probability=probability,
-                         schedule=schedule, batch_pfails=batch_pfails)
+                         schedule=schedule, batch_pfails=batch_pfails,
+                         strict=strict, retry=retry)
+    from repro.pipeline.resilience import TaskFailure
     from repro.pipeline.stages import suite_pipeline
 
     if workers is None:
@@ -241,8 +264,12 @@ def _run_cell_suite(cell_config, benchmarks, workers, probability,
     computed = suite_pipeline(tuple(benchmarks), cell_config, probability,
                               workers=workers, schedule=schedule,
                               mechanisms=mechanisms,
-                              batch_pfails=batch_pfails)
-    return [computed[name] for name in benchmarks]
+                              batch_pfails=batch_pfails,
+                              strict=strict, retry=retry)
+    return [FailedBenchmark(name=name, failure=computed[name])
+            if isinstance(computed[name], TaskFailure)
+            else computed[name]
+            for name in benchmarks]
 
 
 def _run_cell_group(item):
@@ -257,7 +284,7 @@ def _run_cell_group(item):
     each cell out a second level, so no requested worker idles.
     """
     (geometry, selection, benchmarks, config, probability,
-     inner_workers, schedule) = item
+     inner_workers, schedule, strict, retry) = item
     from repro.experiments.runner import fresh_results
 
     batch_pfails = _batch_pfails(selection) if schedule == "cell" else None
@@ -269,7 +296,7 @@ def _run_cell_group(item):
             results = _run_cell_suite(
                 cell_config, benchmarks, inner_workers, probability,
                 _estimation_mechanisms(point_mechanisms), schedule,
-                batch_pfails)
+                batch_pfails, strict, retry)
             cells.append((SweepCell(geometry=geometry, pfail=pfail),
                           results))
     return cells
@@ -284,7 +311,9 @@ def run_sweep(geometries=None, *,
               on_cell=None,
               only_cells=None,
               schedule: str = "cell",
-              probability: float = TARGET_EXCEEDANCE) -> SweepResult:
+              probability: float = TARGET_EXCEEDANCE,
+              strict: bool = True,
+              retry: RetryPolicy | None = None) -> SweepResult:
     """Estimate the whole suite at every grid cell.
 
     ``config`` carries the non-swept parameters (timing model, solver
@@ -313,8 +342,15 @@ def run_sweep(geometries=None, *,
     double-counted.  Cross-run reuse is the persistent stores' job,
     and that one is exact (store hits are counted by the estimator
     that makes them).
+
+    Resilience: transient faults (killed workers, broken pools) are
+    retried under ``retry`` (default policy).  ``strict=False`` keeps
+    the sweep alive past a permanently-failing cell: the cell emits no
+    design points and is listed in ``SweepResult.failed`` (the report
+    annotates it) while every other cell completes normally.
     """
-    from repro.experiments.runner import fresh_results, solver_totals
+    from repro.experiments.runner import (FailedBenchmark, fresh_results,
+                                          solver_totals)
 
     if geometries is None:
         geometries = geometry_grid()
@@ -326,14 +362,28 @@ def run_sweep(geometries=None, *,
     cells = sweep_cells(geometries, pfails)
     points_by_cell: dict[SweepCell, tuple[DesignPoint, ...]] = {}
     results_by_cell: dict[SweepCell, list] = {}
+    failed_by_cell: dict[SweepCell, FailedCell] = {}
     completed = 0
 
     def finish(cell, results):
         nonlocal completed
         completed += 1
-        points_by_cell[cell] = _cell_points(cell, results,
-                                            selection[cell.pfail])
-        results_by_cell[cell] = results
+        complete = [result for result in results
+                    if not isinstance(result, FailedBenchmark)]
+        broken = [result for result in results
+                  if isinstance(result, FailedBenchmark)]
+        if broken:
+            # The cell's points would silently average over a partial
+            # benchmark set — drop the cell and annotate instead.
+            failed_by_cell[cell] = FailedCell(
+                cell=cell,
+                benchmarks=tuple(result.name for result in broken),
+                reason=broken[0].failure.error)
+            points_by_cell[cell] = ()
+        else:
+            points_by_cell[cell] = _cell_points(cell, complete,
+                                                selection[cell.pfail])
+        results_by_cell[cell] = complete
         if on_cell is not None:
             on_cell(cell, points_by_cell[cell], completed, len(cells))
 
@@ -342,12 +392,16 @@ def run_sweep(geometries=None, *,
         # fan-out inside each group (bit-identical either way); an
         # explicit `workers` request keeps at least that inner width.
         inner_workers = max(workers or 1, cell_workers // len(geometries))
-        scheduler = PipelineScheduler(workers=cell_workers)
+        scheduler = PipelineScheduler(
+            workers=cell_workers,
+            retry=retry if retry is not None else DEFAULT_RETRY_POLICY,
+            strict=strict)
         for position, geometry in enumerate(geometries):
             scheduler.add(
                 f"cells:{position}", _run_cell_group,
                 args=((geometry, selection, benchmarks, config,
-                       probability, inner_workers, schedule),),
+                       probability, inner_workers, schedule, strict,
+                       retry),),
                 stage="sweep-cells", pool=True)
 
         def group_done(_key, group, _completed, _total):
@@ -361,7 +415,10 @@ def run_sweep(geometries=None, *,
             # level; spend the requested width on benchmarks instead
             # of silently dropping it.
             workers = cell_workers
-        scheduler = PipelineScheduler(workers=1)
+        scheduler = PipelineScheduler(
+            workers=1,
+            retry=retry if retry is not None else DEFAULT_RETRY_POLICY,
+            strict=strict)
         batch_pfails = (_batch_pfails(selection) if schedule == "cell"
                         else None)
         for position, cell in enumerate(cells):
@@ -373,7 +430,8 @@ def run_sweep(geometries=None, *,
                 return (cell, _run_cell_suite(cell_config, benchmarks,
                                               workers, probability,
                                               mechanisms, schedule,
-                                              batch_pfails))
+                                              batch_pfails, strict,
+                                              retry))
 
             scheduler.add(f"cell:{position}", run_cell, stage="sweep-cell")
 
@@ -391,4 +449,6 @@ def run_sweep(geometries=None, *,
         all_results.extend(results_by_cell[cell])
     return SweepResult(points=tuple(points), benchmarks=tuple(benchmarks),
                        probability=probability,
-                       solver_totals=solver_totals(all_results))
+                       solver_totals=solver_totals(all_results),
+                       failed=tuple(failed_by_cell[cell] for cell in cells
+                                    if cell in failed_by_cell))
