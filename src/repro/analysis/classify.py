@@ -22,7 +22,7 @@ Results are identical by construction (property-tested in
 
 Classification tables also persist across runs through the
 content-addressed :class:`~repro.analysis.store.ClassificationStore`
-(``REPRO_SOLVE_CACHE`` / ``cache=...``): a warm run performs **zero**
+(``REPRO_CACHE`` / ``cache=...``): a warm run performs **zero**
 fixpoints, mirroring the solve store's zero-backend-ILP property.
 """
 
@@ -131,7 +131,7 @@ class CacheAnalysis:
 
     ``cache`` selects the persistent classification store (same
     convention as the solve cache: ``None`` defers to
-    ``REPRO_SOLVE_CACHE``, ``"off"`` disables, anything else is a
+    ``REPRO_CACHE``, ``"off"`` disables, anything else is a
     directory).  ``engine`` picks the Must/May implementation
     (``"vector"``/``"dict"``; default: ``REPRO_ANALYSIS_ENGINE``,
     else ``"vector"``).
@@ -152,7 +152,7 @@ class CacheAnalysis:
         self._tables: dict[int, ClassificationTable] = {}
         if engine is None:
             # An empty/whitespace variable means unset, matching the
-            # REPRO_SOLVE_CACHE convention.
+            # REPRO_CACHE convention.
             engine = (os.environ.get(ENGINE_ENV) or "").strip().lower() \
                 or "vector"
         if engine not in _ENGINES:

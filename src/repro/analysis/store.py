@@ -19,7 +19,7 @@ Storage shares the solve store's shard conventions — append-only JSONL
 shards, one per writer process, each line CRC-32 checksummed, corrupt
 or truncated lines skipped and recomputed — and lives under the *same*
 root directory (subdirectory ``classify-v<N>`` next to the solve
-store's ``v<N>``), so ``REPRO_SOLVE_CACHE`` / ``--cache`` control both
+store's ``v<N>``), so ``REPRO_CACHE`` / ``--cache`` control both
 stores with one knob and ``repro cache gc`` compacts both at once.
 """
 
@@ -30,7 +30,7 @@ import os
 
 from repro.analysis.chmc import (ALWAYS_HIT, ALWAYS_MISS, NOT_CLASSIFIED,
                                  Chmc, Classification)
-from repro.solve.store import ShardedStore, SolveStore
+from repro.solve.store import ShardedStore, SolveStore, attach_remote
 
 #: Bump on ANY change to the table encoding or the key derivation.
 CLASSIFY_SCHEMA_VERSION = 1
@@ -119,7 +119,7 @@ class ClassificationStore(ShardedStore):
     @classmethod
     def resolve(cls, override: str | None = None
                 ) -> "ClassificationStore | None":
-        """The store selected by ``override`` or ``REPRO_SOLVE_CACHE``.
+        """The store selected by ``override`` or ``REPRO_CACHE``.
 
         Same convention as :meth:`SolveStore.resolve` — and the same
         *root*: both stores live side by side under one cache
@@ -132,6 +132,7 @@ class ClassificationStore(ShardedStore):
         store = _RESOLVED.get(key)
         if store is None:
             store = _RESOLVED[key] = cls(solve_store.root)
+        attach_remote(store)
         return store
 
     # -- index hooks ---------------------------------------------------
@@ -148,7 +149,12 @@ class ClassificationStore(ShardedStore):
     # -- reads / writes ------------------------------------------------
     def get(self, key: str) -> object | None:
         self._ensure_loaded()
-        return self._entries.get(key)
+        value = self._entries.get(key)
+        if value is None and self.remote is not None:
+            value = self._remote_fetch("classify", key)
+            if value is not None:
+                self._entries[key] = value
+        return value
 
     def put(self, key: str, value: object) -> None:
         self._ensure_loaded()
@@ -161,6 +167,7 @@ class ClassificationStore(ShardedStore):
             return
         self._entries[key] = value
         self._append("classify", key, value)
+        self._remote_push("classify", key, value)
 
     def __len__(self) -> int:
         self._ensure_loaded()

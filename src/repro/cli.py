@@ -18,13 +18,17 @@ Commands
                untouched).
 ``cache import``  merge a cache tarball content-addressed: novel
                entries are appended, existing ones never clobbered.
+``serve``      HTTP shard server over one cache root: remote clients
+               (``--remote`` / ``REPRO_REMOTE_STORE``) fetch store
+               misses from it and push writes back, with retries,
+               circuit breaking and graceful local-only degradation.
 ``list``       list the available benchmarks with size metadata.
 
-All estimation commands consult the persistent caches — the solve
-store *and* the classification store share one directory
-(``REPRO_SOLVE_CACHE=off|<path>``, ``--cache``): a warm re-run of any
-command performs zero backend ILP solves and zero
-abstract-interpretation fixpoints.
+All estimation commands consult the persistent caches — the three
+stores (solve, classification, cell) share one directory
+(``REPRO_CACHE=off|<path>``, ``--cache``; ``REPRO_SOLVE_CACHE`` is a
+deprecated alias): a warm re-run of any command performs zero backend
+ILP solves and zero abstract-interpretation fixpoints.
 
 ``suite`` and ``sweep`` take resilience knobs: transient worker
 crashes and broken pools are always retried; ``--partial`` completes
@@ -61,9 +65,14 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="process-pool width for batched solving "
                              "(default 1: in-process)")
     parser.add_argument("--cache", default=None, metavar="off|PATH",
-                        help="persistent solve-cache directory; 'off' "
-                             "disables it (default: REPRO_SOLVE_CACHE, "
+                        help="persistent store directory; 'off' "
+                             "disables it (default: REPRO_CACHE, "
                              "else the user cache dir)")
+    parser.add_argument("--remote", default=None, metavar="off|URL",
+                        help="remote shard server (`repro serve`) to "
+                             "fetch store misses from and push writes "
+                             "to; 'off' disables (default: "
+                             "REPRO_REMOTE_STORE, else local-only)")
 
 
 def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
@@ -87,6 +96,15 @@ def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
                              "(repeatable)")
 
 
+#: Stage names a ``--stage-timeout STAGE=SECONDS`` budget may target —
+#: the stages the DAG builders actually schedule.  A typo'd stage name
+#: must fail loudly: a silently ignored budget would green-light an
+#: unsupervised run.
+_TIMEOUT_STAGES = frozenset({"classify", "solve", "cell", "distribution",
+                             "estimate", "result", "sweep-cell",
+                             "sweep-cells"})
+
+
 def _retry_from(arguments: argparse.Namespace):
     """Build a ``RetryPolicy`` from the CLI knobs, or ``None``.
 
@@ -94,6 +112,8 @@ def _retry_from(arguments: argparse.Namespace):
     still retried, but no timeout supervision runs and the attempt
     budget is the library default.
     """
+    import math
+
     from repro.pipeline.resilience import DEFAULT_RETRY_POLICY, RetryPolicy
     max_attempts = arguments.max_attempts
     if max_attempts is not None and max_attempts < 1:
@@ -108,10 +128,14 @@ def _retry_from(arguments: argparse.Namespace):
         except ValueError:
             raise SystemExit("--stage-timeout: expected "
                              f"[STAGE=]SECONDS, got {spec!r}") from None
-        if seconds <= 0:
-            raise SystemExit("--stage-timeout: SECONDS must be > 0, "
-                             f"got {spec!r}")
+        if not math.isfinite(seconds) or seconds <= 0:
+            raise SystemExit("--stage-timeout: SECONDS must be a "
+                             f"positive finite number, got {spec!r}")
         if separator:
+            if stage not in _TIMEOUT_STAGES:
+                raise SystemExit(
+                    f"--stage-timeout: unknown stage {stage!r} in "
+                    f"{spec!r} (one of {', '.join(sorted(_TIMEOUT_STAGES))})")
             stage_timeouts[stage] = seconds
         else:
             timeout = seconds
@@ -127,6 +151,14 @@ def _retry_from(arguments: argparse.Namespace):
 def _config_from(arguments: argparse.Namespace) -> EstimatorConfig:
     if arguments.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {arguments.workers}")
+    if getattr(arguments, "remote", None) is not None:
+        # The stores resolve the remote client from the environment on
+        # every resolve(), so the flag simply overrides the variable —
+        # including `--remote off` silencing an inherited one.
+        import os
+
+        from repro.solve.store import REMOTE_ENV
+        os.environ[REMOTE_ENV] = arguments.remote
     return EstimatorConfig(pfail=arguments.pfail,
                            relaxed=arguments.relaxed,
                            workers=arguments.workers,
@@ -321,6 +353,14 @@ def _command_cache_gc(arguments: argparse.Namespace) -> int:
     noun = "directory" if len(reports) == 1 else "directories"
     print(f"cache gc: {verb} {total_saved} bytes across "
           f"{len(reports)} store {noun}")
+    total_corrupt = sum(report.corrupt_dropped for report in reports)
+    if total_corrupt:
+        # Silent store repair made visible: these lines were torn or
+        # corrupt, were skipped by every reader, and are (or would be)
+        # dropped for good here.
+        verb = "would drop" if arguments.dry_run else "dropped"
+        print(f"cache gc: {verb} {total_corrupt} corrupt/torn "
+              f"line(s) recovered by re-computation")
     return 0
 
 
@@ -352,6 +392,43 @@ def _command_cache_import(arguments: argparse.Namespace) -> int:
     total = sum(report.imported for report in reports)
     print(f"cache import: merged {total} new entr(ies)")
     return 0
+
+
+def _command_serve(arguments: argparse.Namespace) -> int:
+    from repro.remote.server import ShardServer
+    server = ShardServer(arguments.cache, host=arguments.host,
+                         port=arguments.port)
+    print(f"serving shard store {server.root} at {server.url} "
+          "(Ctrl-C to stop)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _remote_degradation_note() -> None:
+    """One stderr note per degraded remote client, after any command.
+
+    Stderr only: stdout must stay byte-identical to a local-only run —
+    that is the headline guarantee ("remote dies mid-sweep → run
+    completes from local stores, byte-identical, exit 0").
+    """
+    import sys as _sys
+    if "repro.remote.client" not in _sys.modules:
+        return  # no remote was ever resolved: nothing to report
+    from repro.remote.client import resolved_clients
+    for client in resolved_clients():
+        if not client.degraded:
+            continue
+        stats = client.stats
+        print(f"note: remote store {client.base_url} degraded to "
+              f"local-only mode ({stats.breaker_trips} circuit-breaker "
+              f"trip(s), {stats.degraded_skips} request(s) skipped, "
+              f"{stats.retries} retr(ies)); the run completed from "
+              "local stores", file=sys.stderr, flush=True)
 
 
 def _command_list(_arguments: argparse.Namespace) -> int:
@@ -448,7 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "one sorted, checksummed file each")
     cache_gc.add_argument("--cache", default=None, metavar="off|PATH",
                           help="cache directory to compact (default: "
-                               "REPRO_SOLVE_CACHE, else the user cache "
+                               "REPRO_CACHE, else the user cache "
                                "dir)")
     cache_gc.add_argument("--dry-run", action="store_true",
                           help="report what compaction would do without "
@@ -466,7 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="output tarball path (gzip-compressed)")
     cache_export.add_argument("--cache", default=None, metavar="off|PATH",
                               help="cache directory to export (default: "
-                                   "REPRO_SOLVE_CACHE, else the user "
+                                   "REPRO_CACHE, else the user "
                                    "cache dir)")
     cache_export.add_argument("--fsync", action="store_true",
                               help="flush the finished tarball to "
@@ -481,13 +558,29 @@ def build_parser() -> argparse.ArgumentParser:
                                               "`repro cache export`")
     cache_import.add_argument("--cache", default=None, metavar="off|PATH",
                               help="cache directory to merge into "
-                                   "(default: REPRO_SOLVE_CACHE, else "
+                                   "(default: REPRO_CACHE, else "
                                    "the user cache dir)")
     cache_import.add_argument("--fsync", action="store_true",
                               help="flush the merged shard to stable "
                                    "storage before the atomic rename "
                                    "publishes it")
     cache_import.set_defaults(handler=_command_cache_import)
+
+    serve = commands.add_parser(
+        "serve", help="HTTP shard server over one cache root "
+                      "(fetch-on-miss / push-on-write remote for "
+                      "--remote / REPRO_REMOTE_STORE clients)")
+    serve.add_argument("--cache", default=None, metavar="PATH",
+                       help="cache directory to serve (default: "
+                            "REPRO_CACHE, else the user cache dir)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1; bind "
+                            "0.0.0.0 only on a trusted network — the "
+                            "protocol is unauthenticated)")
+    serve.add_argument("--port", type=int, default=8737,
+                       help="TCP port (default 8737; 0 picks a free "
+                            "port)")
+    serve.set_defaults(handler=_command_serve)
 
     listing = commands.add_parser("list", help="available benchmarks")
     listing.set_defaults(handler=_command_list)
@@ -515,7 +608,9 @@ def _command_report(arguments: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     arguments = build_parser().parse_args(argv)
-    return arguments.handler(arguments)
+    code = arguments.handler(arguments)
+    _remote_degradation_note()
+    return code
 
 
 if __name__ == "__main__":

@@ -23,7 +23,7 @@ float, which used to dominate the whole cell stage's wall-clock.
 
 Storage shares the shard conventions of the sibling stores
 (append-only checksummed JSONL under ``cells-v<N>`` next to ``v<N>``
-and ``classify-v<N>``; same ``REPRO_SOLVE_CACHE`` / ``--cache`` knob;
+and ``classify-v<N>``; same ``REPRO_CACHE`` / ``--cache`` knob;
 corrupt or foreign-schema entries degrade to recomputation).
 """
 
@@ -39,7 +39,7 @@ from repro.fmm import FaultMissMap
 from repro.pipeline.artifacts import CELL_SCHEMA_VERSION
 from repro.pwcet.distribution import DiscreteDistribution
 from repro.pwcet.estimator import PWCETEstimate
-from repro.solve.store import ShardedStore, SolveStore
+from repro.solve.store import ShardedStore, SolveStore, attach_remote
 
 
 def _packed(array: np.ndarray, dtype: str) -> str:
@@ -134,7 +134,7 @@ class CellStore(ShardedStore):
 
     @classmethod
     def resolve(cls, override: str | None = None) -> "CellStore | None":
-        """The store selected by ``override`` or ``REPRO_SOLVE_CACHE``.
+        """The store selected by ``override`` or ``REPRO_CACHE``.
 
         Same convention — and same *root* — as
         :meth:`~repro.solve.store.SolveStore.resolve`: all three stores
@@ -147,6 +147,7 @@ class CellStore(ShardedStore):
         store = _RESOLVED.get(key)
         if store is None:
             store = _RESOLVED[key] = cls(solve_store.root)
+        attach_remote(store)
         return store
 
     # -- index hooks ---------------------------------------------------
@@ -163,7 +164,12 @@ class CellStore(ShardedStore):
     # -- reads / writes ------------------------------------------------
     def get(self, key: str) -> object | None:
         self._ensure_loaded()
-        return self._entries.get(key)
+        value = self._entries.get(key)
+        if value is None and self.remote is not None:
+            value = self._remote_fetch("cell", key)
+            if value is not None:
+                self._entries[key] = value
+        return value
 
     def put(self, key: str, value: object) -> None:
         self._ensure_loaded()
@@ -174,6 +180,7 @@ class CellStore(ShardedStore):
             return
         self._entries[key] = value
         self._append("cell", key, value)
+        self._remote_push("cell", key, value)
 
     def __len__(self) -> int:
         self._ensure_loaded()

@@ -26,6 +26,7 @@ chaos CI job diffs exactly this).
 
 from __future__ import annotations
 
+import random
 import time
 from collections.abc import Callable
 from concurrent.futures import BrokenExecutor
@@ -60,12 +61,17 @@ def classify_failure(error: BaseException) -> str:
 class RetryPolicy:
     """How the scheduler retries, backs off and times stages out.
 
-    Backoff is deterministic (pure exponential, no jitter): retry
-    ``n`` waits ``min(backoff_cap, backoff_base * 2**(n-1))`` seconds,
-    so a recovered run's retry schedule is reproducible.  ``timeout``
-    bounds every pool stage's wall-clock; ``stage_timeouts`` overrides
-    it per stage name (inline stages cannot be preempted and are not
-    timed out).  ``sleep`` is injectable so tests retry instantly.
+    :meth:`backoff` is deterministic (pure exponential): retry ``n``'s
+    *ceiling* is ``min(backoff_cap, backoff_base * 2**(n-1))`` seconds.
+    The actual sleep (:meth:`sleep_backoff`) subtracts a random
+    ``jitter`` fraction of that ceiling, so a fleet of tasks felled by
+    one shared cause (a pool rebuild, a remote store outage) does not
+    retry in lockstep — and it is *interruptible*: given a deadline it
+    sleeps at most until then instead of sleeping through it.
+    ``timeout`` bounds every pool stage's wall-clock;
+    ``stage_timeouts`` overrides it per stage name (inline stages
+    cannot be preempted and are not timed out).  ``sleep`` and ``rng``
+    are injectable so tests retry instantly and deterministically.
     """
 
     max_attempts: int = 3
@@ -74,11 +80,37 @@ class RetryPolicy:
     timeout: float | None = None
     stage_timeouts: dict[str, float] | None = None
     sleep: Callable[[float], None] = time.sleep
+    #: Fraction of the backoff ceiling randomised away: the sleep is
+    #: uniform in ``[backoff * (1 - jitter), backoff]``.  ``0`` keeps
+    #: the legacy deterministic schedule.
+    jitter: float = 0.5
+    rng: Callable[[], float] = random.random
 
     def backoff(self, attempt: int) -> float:
-        """Seconds to wait after the ``attempt``-th failure (1-based)."""
+        """Ceiling seconds to wait after the ``attempt``-th failure
+        (1-based); deterministic, jitter applies in
+        :meth:`sleep_backoff` only."""
         return min(self.backoff_cap,
                    self.backoff_base * (2.0 ** (max(1, attempt) - 1)))
+
+    def sleep_backoff(self, attempt: int, *,
+                      deadline: float | None = None) -> float:
+        """Sleep the jittered backoff for ``attempt``; returns the
+        seconds actually slept.
+
+        ``deadline`` is a ``time.monotonic`` instant (e.g. the nearest
+        in-flight stage timeout): the sleep is clamped so the caller
+        wakes in time to act on it rather than sleeping through it.
+        """
+        duration = self.backoff(attempt)
+        if self.jitter > 0:
+            duration -= duration * self.jitter * self.rng()
+        if deadline is not None:
+            duration = min(duration, max(0.0, deadline - time.monotonic()))
+        if duration > 0:
+            self.sleep(duration)
+            return duration
+        return 0.0
 
     def timeout_for(self, stage: str) -> float | None:
         if self.stage_timeouts and stage in self.stage_timeouts:
@@ -117,6 +149,22 @@ class TaskFailure:
     @property
     def cascaded(self) -> bool:
         return self.classification == CASCADED
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form (stable field names)."""
+        return {"key": self.key, "stage": self.stage,
+                "classification": self.classification,
+                "attempts": self.attempts, "error": self.error,
+                "elapsed": self.elapsed, "root_key": self.root_key}
+
+    @classmethod
+    def from_dict(cls, value: dict) -> "TaskFailure":
+        return cls(key=str(value["key"]), stage=str(value["stage"]),
+                   classification=str(value["classification"]),
+                   attempts=int(value["attempts"]),
+                   error=str(value["error"]),
+                   elapsed=float(value.get("elapsed", 0.0)),
+                   root_key=value.get("root_key"))
 
 
 @dataclass
@@ -157,3 +205,22 @@ class FailureReport:
             "timeouts": self.timeouts,
             "pool_rebuilds": self.pool_rebuilds,
         }
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form; inverse of :meth:`from_dict`.
+
+        Lets drivers persist the failure ledger alongside a partial
+        report and lets a wrapping service return it over the wire.
+        """
+        return {"failures": [failure.as_dict()
+                             for failure in self.failures],
+                "retries": self.retries, "timeouts": self.timeouts,
+                "pool_rebuilds": self.pool_rebuilds}
+
+    @classmethod
+    def from_dict(cls, value: dict) -> "FailureReport":
+        return cls(failures=[TaskFailure.from_dict(item)
+                             for item in value.get("failures", ())],
+                   retries=int(value.get("retries", 0)),
+                   timeouts=int(value.get("timeouts", 0)),
+                   pool_rebuilds=int(value.get("pool_rebuilds", 0)))

@@ -97,6 +97,12 @@ class PipelineStats:
     #: Resilience ledger: terminal task failures plus retry / timeout /
     #: pool-rebuild counters (empty on a clean run).
     failure_report: FailureReport = field(default_factory=FailureReport)
+    #: Remote-store wire outcomes of this run (``remote_fetch_hits``,
+    #: ``remote_retries``, ``remote_breaker_trips``, ...): the delta of
+    #: :func:`repro.remote.client.remote_stats_totals` across
+    #: :meth:`PipelineScheduler.run`.  Empty when no remote store is
+    #: configured.
+    remote: dict[str, int] = field(default_factory=dict)
 
     @property
     def partial(self) -> bool:
@@ -118,10 +124,13 @@ class PipelineStats:
 
         ``fault_pmf_*`` keys are process-scope memo snapshots, not
         per-run work — summing them would double-count across stages,
-        so they are dropped (mirrors ``_merged_counters``).
+        so they are dropped (mirrors ``_merged_counters``); likewise
+        the ``*_corrupt_skipped`` store-repair snapshots surfaced by
+        ``stats_summary()``.
         """
         for key, value in (counters or {}).items():
             if not key.endswith("_rate") \
+                    and not key.endswith("_corrupt_skipped") \
                     and not key.startswith("fault_pmf_"):
                 self.counters[key] = self.counters.get(key, 0) + value
 
@@ -157,6 +166,20 @@ class PipelineStats:
         """Sibling pfail rows the batched distribution kernel computed
         alongside running cells and prefilled into the cell store."""
         return int(self.counters.get("dist_batched_rows", 0))
+
+
+def _remote_totals() -> dict[str, int]:
+    """Process-wide remote-store counters (empty without a remote).
+
+    Imported lazily: the remote client pulls this package in through
+    ``repro.pipeline.resilience``, and purely local runs should not
+    pay for the HTTP stack at all.
+    """
+    try:
+        from repro.remote.client import remote_stats_totals
+    except ImportError:  # pragma: no cover - stdlib http always present
+        return {}
+    return remote_stats_totals()
 
 
 @dataclass
@@ -369,6 +392,7 @@ class PipelineScheduler:
         self._report = report
         self._running = True
         started = time.perf_counter()
+        remote_before = _remote_totals()
         satisfied, demanded, _will_run = self._plan(tasks)
         # Tasks nobody demands any more (every transitive dependent is
         # satisfied from a store) are skipped outright.
@@ -397,6 +421,14 @@ class PipelineScheduler:
         #: Monotonic wall-clock deadline per in-flight future (only
         #: futures whose stage has a timeout budget appear here).
         deadlines: dict[Future, float] = {}
+
+        def retry_sleep(attempt: int) -> None:
+            """Jittered backoff, clamped to the nearest in-flight
+            stage deadline so a retry pause never sleeps through a
+            timeout it is supposed to enforce."""
+            policy.sleep_backoff(
+                attempt,
+                deadline=min(deadlines.values()) if deadlines else None)
 
         def unblock(key: str) -> None:
             for dependent in dependents[key]:
@@ -467,7 +499,7 @@ class PipelineScheduler:
                     if (classify_failure(error) == TRANSIENT
                             and attempts[key] < policy.max_attempts):
                         report.retries += 1
-                        policy.sleep(policy.backoff(attempts[key]))
+                        retry_sleep(attempts[key])
                         continue
                     quarantine(key, error, classify_failure(error),
                                elapsed)
@@ -501,7 +533,7 @@ class PipelineScheduler:
             if (classify_failure(error) == TRANSIENT
                     and attempts[key] < policy.max_attempts):
                 report.retries += 1
-                policy.sleep(policy.backoff(attempts[key]))
+                retry_sleep(attempts[key])
                 push_ready(tasks[key])
             else:
                 quarantine(key, error, classify_failure(error))
@@ -642,6 +674,10 @@ class PipelineScheduler:
                         f"{stuck}")
         finally:
             stats.wall_seconds += time.perf_counter() - started
+            for name, total in _remote_totals().items():
+                delta = total - remote_before.get(name, 0)
+                if delta:
+                    stats.remote[name] = stats.remote.get(name, 0) + delta
             self._running = False
             self._report = None
             self._close_pool()

@@ -205,12 +205,16 @@ def _merged_counters(summary: dict[str, float],
     ``fault_pmf_*`` keys are process-scope memo diagnostics, not
     per-run work counters — including them would make ``solver_stats``
     depend on what ran earlier in the process, breaking its immutable
-    per-run snapshot semantics, so they are dropped here.
+    per-run snapshot semantics, so they are dropped here; the
+    ``*_corrupt_skipped`` store-repair snapshots are handle-cumulative
+    for the same reason and get the same treatment.
     """
     merged = {key: value for key, value in summary.items()
-              if not key.startswith("fault_pmf_")}
+              if not key.startswith("fault_pmf_")
+              and not key.endswith("_corrupt_skipped")}
     for key, value in stage_stats.items():
-        if not key.endswith("_rate") and not key.startswith("fault_pmf_"):
+        if not key.endswith("_rate") and not key.startswith("fault_pmf_") \
+                and not key.endswith("_corrupt_skipped"):
             merged[key] = merged.get(key, 0) + value
     return merged
 

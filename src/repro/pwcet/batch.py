@@ -84,7 +84,7 @@ _SHIFT_DRIVER_MAX_NNZ = 64
 def selected_engine(override: str | None = None) -> str:
     """The active engine name (override > environment > default)."""
     if override is None:
-        # Empty/whitespace means unset (REPRO_SOLVE_CACHE convention).
+        # Empty/whitespace means unset (REPRO_CACHE convention).
         override = (os.environ.get(ENGINE_ENV) or "").strip().lower() \
             or "batched"
     if override not in _ENGINES:

@@ -14,7 +14,7 @@ All intermediate artefacts are memoised: the estimator runs the cache
 analysis once per associativity and builds a single flow polytope that
 every ILP (WCET and all FMM entries) reuses.  Solved objectives also
 persist across runs through the content-addressed
-:class:`~repro.solve.store.SolveStore` (``REPRO_SOLVE_CACHE``,
+:class:`~repro.solve.store.SolveStore` (``REPRO_CACHE``,
 ``EstimatorConfig(cache=...)``): a warm rerun of the same estimation
 performs zero backend ILP solves.
 
@@ -77,7 +77,7 @@ class EstimatorConfig:
     #: hence from the experiment runner's memoisation key).
     workers: int = field(default=1, compare=False)
     #: Persistent solve-cache selector: ``None`` defers to the
-    #: ``REPRO_SOLVE_CACHE`` environment variable, ``"off"`` disables
+    #: ``REPRO_CACHE`` environment variable, ``"off"`` disables
     #: persistence, anything else is a store directory.  Execution
     #: policy like ``workers``: cached values are bit-identical to
     #: fresh solves, so the field is excluded from equality.
@@ -187,7 +187,7 @@ class PWCETEstimator:
             self._analysis = analysis
         else:
             #: The cache selector is shared with the solve store: one
-            #: knob (``cache=`` / ``REPRO_SOLVE_CACHE``) controls both
+            #: knob (``cache=`` / ``REPRO_CACHE``) controls both
             #: the classification store and the ILP store.
             self._analysis = CacheAnalysis(cfg, config.geometry,
                                            cache=config.cache)
@@ -253,16 +253,32 @@ class PWCETEstimator:
         cumulative cache diagnostics, not per-run work, so counter
         merges skip them (:func:`repro.pipeline.stages
         ._merged_counters`, :meth:`~repro.pipeline.scheduler
-        .PipelineStats.merge_counters`).
+        .PipelineStats.merge_counters`).  The ``*_corrupt_skipped``
+        triple snapshots each persistent store's silent-repair count
+        (shard lines dropped as torn/corrupt and recomputed) — same
+        handle-cumulative scope, same merge-skip treatment — so store
+        repair is observable instead of silent.
         """
+        from repro.pipeline.cellstore import CellStore
         from repro.reliability.mechanism import fault_pmf_cache_stats
 
         pmf_stats = fault_pmf_cache_stats()
+        classify_store = self._analysis.store
+        cell_store = CellStore.resolve(self._config.cache)
         return {**self._planner.stats.as_dict(),
                 **self._analysis.stats.as_dict(),
                 "fault_pmf_hits": pmf_stats.hits,
                 "fault_pmf_misses": pmf_stats.misses,
-                "fault_pmf_evicted": pmf_stats.evicted}
+                "fault_pmf_evicted": pmf_stats.evicted,
+                "store_corrupt_skipped":
+                    self._store.stats.corrupt_skipped
+                    if self._store is not None else 0,
+                "classify_store_corrupt_skipped":
+                    classify_store.corrupt_skipped
+                    if classify_store is not None else 0,
+                "cell_store_corrupt_skipped":
+                    cell_store.corrupt_skipped
+                    if cell_store is not None else 0}
 
     @property
     def store(self):

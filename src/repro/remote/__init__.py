@@ -1,0 +1,46 @@
+"""Remote artifact store: the shard protocol over HTTP.
+
+Promotes the three content-addressed stores (solve / classification /
+cell) from per-machine directories to a fleet-shared network service,
+the ROADMAP's "pWCET-as-a-service" direction: every query any run has
+ever answered becomes a store hit for the whole fleet.
+
+``server``
+    :class:`~repro.remote.server.ShardServer` — a stdlib-only HTTP
+    server (``repro serve``) exposing a cache root's shard layout over
+    ``GET`` / ``PUT`` / ``HEAD`` with content-address paths
+    (``/stores/<schema-dir>/<kind>/<key>``), ETag = the shard line's
+    CRC-32 checksum, and concurrency-safe appends through the existing
+    newest-wins shard substrate.
+
+``client``
+    :class:`~repro.remote.client.RemoteStoreClient` — the
+    fault-tolerant client every resolved
+    :class:`~repro.solve.store.ShardedStore` layers underneath when
+    ``REPRO_REMOTE_STORE`` / ``--remote`` is set: fetch-on-miss with
+    in-process request coalescing, push-on-write, SHA-256 + checksum
+    verification of fetched objects (reject on mismatch), retries
+    with jittered exponential backoff, per-request timeouts, and a
+    circuit breaker that trips to local-only mode after consecutive
+    failures and half-opens on a probe.
+
+The headline property is graceful degradation: a remote that dies
+mid-sweep never fails a run — the pipeline completes from the local
+stores, byte-identical to a local-only run, exit code 0, with the
+degradation visible in :class:`~repro.pipeline.scheduler.PipelineStats`
+remote counters.  The wire is chaos-testable through the
+``net:drop|delay|short_read|corrupt`` fault-plan sites
+(:mod:`repro.testing.faultinject`).
+"""
+
+from repro.remote.client import (RemoteStats, RemoteStoreClient,
+                                 remote_stats_totals, resolved_clients)
+from repro.remote.server import ShardServer
+
+__all__ = [
+    "RemoteStats",
+    "RemoteStoreClient",
+    "ShardServer",
+    "remote_stats_totals",
+    "resolved_clients",
+]

@@ -1,0 +1,376 @@
+"""Fault-tolerant client of the remote shard server.
+
+Layered *under* the local stores: when ``REPRO_REMOTE_STORE`` /
+``--remote`` names a :class:`~repro.remote.server.ShardServer`, every
+resolved :class:`~repro.solve.store.ShardedStore` carries one of these
+handles and consults it on a local miss (fetch-on-miss) and after a
+local write (push-on-write).  The local store stays the store of
+record — every fetched entry is appended to the local shards — so the
+remote is purely an accelerator and its failure can never change
+results, only warm-hit rates.
+
+Resilience stack (the remote is the pipeline's first genuinely
+unreliable component, so it lands resilience-first):
+
+* **Verification** — a fetched body must re-parse as the canonical
+  shard line (CRC-32 over kind/key/value), match the requested
+  address, *and* match the server's ``X-Repro-SHA256`` transport
+  digest; any mismatch is rejected and refetched, never indexed.
+* **Retries** — transient failures (connection errors, timeouts,
+  short reads, verification rejects) retry under a
+  :class:`~repro.pipeline.resilience.RetryPolicy` with jittered
+  exponential backoff.
+* **Request coalescing** — concurrent in-process fetches of one
+  address share a single wire request; results (hits *and* misses)
+  are memoised per client handle.
+* **Circuit breaker** — consecutive failures trip the client into
+  local-only mode; after a cooldown one probe request half-opens the
+  circuit, and its success restores remote service.  A tripped
+  breaker makes every store operation degrade instantly instead of
+  burning a timeout per miss — the "remote dies mid-sweep" run
+  completes from local stores at full speed, byte-identical, exit 0.
+
+All outcomes land in :class:`RemoteStats`, which
+:class:`~repro.pipeline.scheduler.PipelineStats` snapshots per run.
+
+Chaos: the ``net:drop|delay@<schema-dir>`` fault-plan clauses fire
+here (client side), through :func:`repro.testing.faultinject.net_client_hook`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+
+from repro.pipeline.resilience import RetryPolicy
+from repro.solve.store import (_OFF_VALUES, REMOTE_ENV, encode_shard_line,
+                               parse_shard_line)
+from repro.testing import faultinject
+
+#: Optional per-request timeout override (seconds).
+TIMEOUT_ENV = "REPRO_REMOTE_TIMEOUT"
+
+#: Memo sentinel for a confirmed remote miss (valid values are JSON,
+#: and ``None`` must mean "not cached here").
+_MISS = object()
+
+
+@dataclass
+class RemoteStats:
+    """Wire-level outcome counters of one client handle."""
+
+    #: Objects fetched, verified and handed to a store.
+    fetch_hits: int = 0
+    #: Confirmed remote 404s (the address is genuinely unknown).
+    fetch_misses: int = 0
+    #: Entries pushed on write (204 from the server).
+    pushes: int = 0
+    #: Push attempts that failed (best-effort: never retried, never
+    #: fatal).
+    push_failures: int = 0
+    #: Fetch attempts re-sent after a transient failure.
+    retries: int = 0
+    #: Fetched bodies rejected by checksum / address / SHA-256
+    #: verification (each one is refetched).
+    verify_rejects: int = 0
+    #: Circuit-breaker transitions into the open (local-only) state.
+    breaker_trips: int = 0
+    #: Requests skipped outright because the breaker was open —
+    #: the length of the degraded span, in store operations.
+    degraded_skips: int = 0
+    #: Fetches served from the in-process memo / a coalesced in-flight
+    #: request instead of the wire.
+    coalesced_hits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "fetch_hits": self.fetch_hits,
+            "fetch_misses": self.fetch_misses,
+            "pushes": self.pushes,
+            "push_failures": self.push_failures,
+            "retries": self.retries,
+            "verify_rejects": self.verify_rejects,
+            "breaker_trips": self.breaker_trips,
+            "degraded_skips": self.degraded_skips,
+            "coalesced_hits": self.coalesced_hits,
+        }
+
+
+class _Breaker:
+    """Minimal three-state circuit breaker (closed / open / half-open).
+
+    ``threshold`` *consecutive* failures trip it open; ``allow()``
+    then refuses requests for ``cooldown`` seconds, after which
+    exactly one caller is admitted as the half-open probe.  The
+    probe's success closes the circuit; its failure re-opens it for
+    another cooldown.  Thread-safe: the stores call into one client
+    from every scheduler thread.
+    """
+
+    def __init__(self, threshold: int = 4, cooldown: float = 15.0,
+                 clock=time.monotonic) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open" \
+                    and self._clock() - self._opened_at >= self.cooldown:
+                self._state = "half_open"
+                self._probing = False
+            if self._state == "half_open" and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def success(self) -> None:
+        with self._lock:
+            self._consecutive = 0
+            self._probing = False
+            self._state = "closed"
+
+    def failure(self) -> bool:
+        """Record one failure; ``True`` when this call trips the
+        circuit open (a failed probe re-trips)."""
+        with self._lock:
+            self._consecutive += 1
+            should_open = self._state == "half_open" \
+                or (self._state == "closed"
+                    and self._consecutive >= self.threshold)
+            if should_open:
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._probing = False
+            return should_open
+
+
+#: Client handles memoised per base URL — one breaker, one memo and
+#: one stats ledger per server per process, shared by all stores.
+_CLIENTS: dict[str, "RemoteStoreClient"] = {}
+
+
+class RemoteStoreClient:
+    """One remote shard server, with the full resilience stack."""
+
+    def __init__(self, base_url: str, *,
+                 retry: RetryPolicy | None = None,
+                 timeout: float = 2.0,
+                 breaker_threshold: int = 4,
+                 breaker_cooldown: float = 15.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        #: Remote requests back off faster and shallower than pool
+        #: stages: a sweep blocked on the wire should degrade to
+        #: local compute, not wait out long sleeps.
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=3, backoff_base=0.05, backoff_cap=0.5)
+        self.timeout = timeout
+        self.stats = RemoteStats()
+        self.breaker = _Breaker(threshold=breaker_threshold,
+                                cooldown=breaker_cooldown)
+        self._lock = threading.Lock()
+        #: ``(subdir, kind, key) → value | _MISS`` — both outcomes are
+        #: memoised so one address is asked at most once per process
+        #: (pushes update it; see :meth:`push`).
+        self._memo: dict[tuple[str, str, str], object] = {}
+        #: In-flight fetch events for request coalescing.
+        self._inflight: dict[tuple[str, str, str], threading.Event] = {}
+
+    # -- resolution ----------------------------------------------------
+    @classmethod
+    def resolve(cls, override: str | None = None
+                ) -> "RemoteStoreClient | None":
+        """The client selected by ``override`` or
+        ``REPRO_REMOTE_STORE`` (``off``/empty/unset disables)."""
+        value = override if override is not None \
+            else os.environ.get(REMOTE_ENV)
+        if value is None or not value.strip() \
+                or value.strip().lower() in _OFF_VALUES:
+            return None
+        url = value.strip().rstrip("/")
+        client = _CLIENTS.get(url)
+        if client is None:
+            try:
+                timeout = float(os.environ.get(TIMEOUT_ENV) or 2.0)
+            except ValueError:
+                timeout = 2.0
+            client = _CLIENTS[url] = cls(url, timeout=timeout)
+        return client
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this client ever fell back to local-only mode."""
+        return self.stats.breaker_trips > 0 \
+            or self.stats.degraded_skips > 0
+
+    # -- fetch-on-miss -------------------------------------------------
+    def fetch(self, subdir: str, kind: str, key: str) -> object | None:
+        """The value at one content address, or ``None`` (miss or
+        degraded).  Never raises: every failure mode ends in ``None``
+        and the pipeline recomputes locally."""
+        token = (subdir, kind, key)
+        while True:
+            with self._lock:
+                cached = self._memo.get(token)
+                if cached is not None:
+                    self.stats.coalesced_hits += 1
+                    return None if cached is _MISS else cached
+                event = self._inflight.get(token)
+                if event is None:
+                    event = self._inflight[token] = threading.Event()
+                    break
+            # Another thread owns the wire request for this address:
+            # wait for it and re-check the memo.
+            event.wait()
+        value = None
+        try:
+            value = self._fetch_wire(subdir, kind, key)
+        finally:
+            with self._lock:
+                # A degraded (breaker-skipped) miss is NOT memoised as
+                # a miss: the address may exist remotely and should be
+                # retried once the circuit recovers.
+                if value is not None:
+                    self._memo[token] = value
+                elif self.breaker.state == "closed":
+                    self._memo[token] = _MISS
+                self._inflight.pop(token, None)
+            event.set()
+        return value
+
+    def _fetch_wire(self, subdir: str, kind: str, key: str
+                    ) -> object | None:
+        url = f"{self.base_url}/stores/{subdir}/{kind}/{key}"
+        policy = self.retry
+        value = None
+        for attempt in range(1, max(1, policy.max_attempts) + 1):
+            if not self.breaker.allow():
+                self.stats.degraded_skips += 1
+                return None
+            outcome = self._request_once(url, subdir, kind, key)
+            if outcome == "miss":
+                self.breaker.success()
+                self.stats.fetch_misses += 1
+                return None
+            if outcome not in ("failure", "reject"):
+                self.breaker.success()
+                self.stats.fetch_hits += 1
+                value = outcome[0]
+                return value
+            if outcome == "reject":
+                self.stats.verify_rejects += 1
+            if self.breaker.failure():
+                self.stats.breaker_trips += 1
+                return None
+            if attempt < policy.max_attempts:
+                self.stats.retries += 1
+                policy.sleep_backoff(attempt)
+        return None
+
+    def _request_once(self, url: str, subdir: str, kind: str,
+                      key: str):
+        """One GET: ``(value,)`` on verified success, ``"miss"`` on a
+        404, ``"reject"`` on verification failure, ``"failure"`` on
+        any transport error."""
+        try:
+            faultinject.net_client_hook(subdir)
+            request = urllib.request.Request(url, method="GET")
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                body = response.read()
+                digest = response.headers.get("X-Repro-SHA256")
+        except urllib.error.HTTPError as error:
+            error.close()
+            return "miss" if error.code == 404 else "failure"
+        except (OSError, http.client.HTTPException, TimeoutError):
+            # URLError, ConnectionError, socket timeouts, IncompleteRead
+            # (a short read), protocol garbage: all transient transport
+            # failures.
+            return "failure"
+        if digest is not None \
+                and hashlib.sha256(body).hexdigest() != digest:
+            return "reject"
+        parsed = parse_shard_line(body.decode("utf-8", errors="replace"))
+        if parsed is None or parsed[0] != kind or parsed[1] != key:
+            # Bad checksum (a corrupt wire or server shard) or an
+            # object addressed elsewhere: never hand it to a store.
+            return "reject"
+        return (parsed[2],)
+
+    # -- push-on-write -------------------------------------------------
+    def push(self, subdir: str, kind: str, key: str,
+             value: object) -> bool:
+        """Best-effort single-shot PUT; ``True`` when the server
+        acknowledged.  Failures count (``push_failures``, breaker) but
+        never raise and never retry — the writer's own work must not
+        stall on the remote, and the entry is safe in the local store
+        regardless."""
+        token = (subdir, kind, key)
+        with self._lock:
+            if self._memo.get(token) == value:
+                return True  # this very entry came from (or went to)
+                             # the server already
+        if not self.breaker.allow():
+            self.stats.degraded_skips += 1
+            return False
+        body = encode_shard_line(kind, key, value).encode("utf-8")
+        url = f"{self.base_url}/stores/{subdir}/{kind}/{key}"
+        try:
+            faultinject.net_client_hook(subdir)
+            request = urllib.request.Request(
+                url, data=body, method="PUT",
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                ok = response.status in (200, 201, 204)
+        except urllib.error.HTTPError as error:
+            error.close()
+            ok = False
+        except (OSError, http.client.HTTPException, TimeoutError):
+            ok = False
+        if ok:
+            self.breaker.success()
+            self.stats.pushes += 1
+            with self._lock:
+                self._memo[token] = value
+        else:
+            self.stats.push_failures += 1
+            if self.breaker.failure():
+                self.stats.breaker_trips += 1
+        return ok
+
+
+def resolved_clients() -> tuple[RemoteStoreClient, ...]:
+    """Every client handle this process has resolved (for the CLI's
+    degradation note and for tests)."""
+    return tuple(_CLIENTS.values())
+
+
+def remote_stats_totals() -> dict[str, int]:
+    """All clients' counters, flattened with a ``remote_`` prefix —
+    the shape :class:`~repro.pipeline.scheduler.PipelineStats`
+    snapshots before and after a run."""
+    totals: dict[str, int] = {}
+    for client in _CLIENTS.values():
+        for name, count in client.stats.as_dict().items():
+            label = f"remote_{name}"
+            totals[label] = totals.get(label, 0) + count
+    return totals

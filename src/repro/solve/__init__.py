@@ -31,7 +31,7 @@ solves from eager calls into *planned* work:
     that extends the dedup across runs: solved objectives are keyed by
     (schema version, CFG digest, geometry, timing model, canonical
     named objective, solver mode) and persisted as append-only,
-    checksummed JSONL shards (``REPRO_SOLVE_CACHE=off|<path>``), so a
+    checksummed JSONL shards (``REPRO_CACHE=off|<path>``), so a
     warm rerun of a whole suite performs zero backend ILP solves.
 
 ``gc``

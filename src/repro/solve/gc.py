@@ -241,7 +241,7 @@ def export_cache(tarball: str | os.PathLike,
     if store is None:
         raise ConfigurationError(
             "cannot export: the persistent cache is disabled "
-            "(REPRO_SOLVE_CACHE=off)")
+            "(REPRO_CACHE=off)")
     reports = []
     target = pathlib.Path(tarball)
     tmp = target.parent / f".{target.name}.tmp-{os.getpid()}"
@@ -285,7 +285,7 @@ def import_cache(tarball: str | os.PathLike,
     if store is None:
         raise ConfigurationError(
             "cannot import: the persistent cache is disabled "
-            "(REPRO_SOLVE_CACHE=off)")
+            "(REPRO_CACHE=off)")
     root = pathlib.Path(store.root)
     incoming: dict[str, dict[tuple[str, str], object]] = {}
     corrupt: dict[str, int] = {}
@@ -377,7 +377,7 @@ def gc_cache(cache: str | None = None, *,
              fsync: bool = False) -> list[CompactionReport]:
     """Compact the cache directory selected like the stores select it.
 
-    ``cache`` follows the ``REPRO_SOLVE_CACHE`` convention (``None``
+    ``cache`` follows the ``REPRO_CACHE`` convention (``None``
     defers to the environment / default directory; ``"off"`` means
     there is nothing to compact).  ``fsync`` makes each published
     shard durable against power loss, not just torn writes.

@@ -24,7 +24,8 @@ Every line carries a CRC-32 of its payload: truncated tails (a killed
 writer), garbage bytes and checksum mismatches are skipped on load and
 simply re-solved, never propagated.
 
-Control knob: ``REPRO_SOLVE_CACHE`` —
+Control knob: ``REPRO_CACHE`` (canonical; ``REPRO_SOLVE_CACHE`` is a
+deprecated alias, honoured with a one-time warning) —
 
 * unset: the default user cache directory
   (``$XDG_CACHE_HOME``/``~/.cache`` ``/repro/solve``);
@@ -32,7 +33,11 @@ Control knob: ``REPRO_SOLVE_CACHE`` —
 * any other value: used as the store directory.
 
 ``EstimatorConfig(cache=...)`` / ``--cache`` override the environment
-per run.
+per run.  ``REPRO_REMOTE_STORE=<url>`` / ``--remote`` additionally
+layers a :class:`~repro.remote.client.RemoteStoreClient` under every
+resolved store: local misses fetch from a shard server, local writes
+push back, and a dead or flaky server degrades to local-only
+(:mod:`repro.remote`).
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ import os
 import pathlib
 import time
 import uuid
+import warnings
 import zlib
 from dataclasses import dataclass, field
 
@@ -54,10 +60,59 @@ from repro.testing import faultinject
 SCHEMA_VERSION = 1
 
 #: Environment variable controlling the default store location.
-CACHE_ENV = "REPRO_SOLVE_CACHE"
+CACHE_ENV = "REPRO_CACHE"
+
+#: Pre-unification name of :data:`CACHE_ENV`; honoured as a
+#: deprecated alias because the knob has governed all three stores
+#: (not just the solve store) since the classification store landed.
+LEGACY_CACHE_ENV = "REPRO_SOLVE_CACHE"
+
+#: Environment variable selecting a remote shard server (the client
+#: lives in :mod:`repro.remote.client`; the name is defined here so
+#: resolution can check it without importing that module).
+REMOTE_ENV = "REPRO_REMOTE_STORE"
 
 #: Values of :data:`CACHE_ENV` that disable persistence entirely.
 _OFF_VALUES = frozenset({"off", "0", "none", "disabled"})
+
+_WARNED_LEGACY = False
+
+
+def cache_env_value() -> str | None:
+    """The cache root configured in the environment, if any.
+
+    ``REPRO_CACHE`` is canonical and wins; ``REPRO_SOLVE_CACHE`` is
+    consulted as a deprecated fallback, warning once per process.
+    """
+    global _WARNED_LEGACY
+    value = os.environ.get(CACHE_ENV)
+    if value is not None:
+        return value
+    value = os.environ.get(LEGACY_CACHE_ENV)
+    if value is not None and not _WARNED_LEGACY:
+        _WARNED_LEGACY = True
+        warnings.warn(
+            f"{LEGACY_CACHE_ENV} is deprecated; set {CACHE_ENV} instead",
+            DeprecationWarning, stacklevel=3)
+    return value
+
+
+def attach_remote(store: "ShardedStore") -> "ShardedStore":
+    """(Re-)attach the remote client selected by the environment.
+
+    Runs on every ``resolve()`` so long-lived processes and tests can
+    flip ``REPRO_REMOTE_STORE`` between runs; client handles are
+    memoised per URL on their side.  The import is lazy both to avoid
+    the ``repro.pipeline`` import cycle and to keep purely local runs
+    from paying for the remote stack.
+    """
+    url = os.environ.get(REMOTE_ENV, "")
+    if not url.strip() or url.strip().lower() in _OFF_VALUES:
+        store.remote = None
+        return store
+    from repro.remote.client import RemoteStoreClient
+    store.remote = RemoteStoreClient.resolve()
+    return store
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -187,6 +242,9 @@ class ShardedStore:
         self._loaded = False
         #: Bytes of each shard already indexed, for :meth:`refresh`.
         self._offsets: dict[str, int] = {}
+        #: Optional :class:`~repro.remote.client.RemoteStoreClient`
+        #: layered under this store (:func:`attach_remote`).
+        self.remote = None
 
     # -- index hooks (subclass responsibility) -------------------------
     def _reset_index(self) -> None:
@@ -322,6 +380,32 @@ class ShardedStore:
             # caching; never fail the estimation over persistence.
             return False
 
+    # -- remote layer --------------------------------------------------
+    def _remote_fetch(self, kind: str, key: str) -> object | None:
+        """Fetch-on-miss through the attached remote client, if any.
+
+        A fetched entry is appended to the local shard too: the local
+        store stays the store of record, so a later remote outage (or
+        a tripped breaker) still serves the entry and a degraded run
+        remains byte-identical to an undisturbed one.  The caller
+        indexes the returned value (kind-specific validation lives
+        there).
+        """
+        client = self.remote
+        if client is None:
+            return None
+        value = client.fetch(self._shard_dir.name, kind, key)
+        if value is not None:
+            self._append(kind, key, value)
+        return value
+
+    def _remote_push(self, kind: str, key: str, value: object) -> None:
+        """Push-on-write through the attached client; best-effort —
+        remote unavailability never fails a local write."""
+        client = self.remote
+        if client is not None:
+            client.push(self._shard_dir.name, kind, key, value)
+
     def invalidate(self) -> None:
         """Drop the in-memory index; the next read rescans every shard.
 
@@ -375,8 +459,9 @@ class SolveStore(ShardedStore):
 
         ``override`` follows the same convention as the environment
         variable (``"off"`` disables, anything else is a directory);
-        ``None`` defers to ``REPRO_SOLVE_CACHE``, and an unset
-        environment selects the default user cache directory.
+        ``None`` defers to ``REPRO_CACHE`` (or its deprecated alias
+        ``REPRO_SOLVE_CACHE``), and an unset environment selects the
+        default user cache directory.
 
         Handles are memoised per resolved directory: the hundreds of
         estimators of a suite or sweep share one in-memory index (one
@@ -384,7 +469,7 @@ class SolveStore(ShardedStore):
         store and opening a fresh shard file each.
         """
         value = override if override is not None \
-            else os.environ.get(CACHE_ENV)
+            else cache_env_value()
         if value is None or not value.strip():
             root = default_cache_dir()
         elif value.strip().lower() in _OFF_VALUES:
@@ -395,6 +480,7 @@ class SolveStore(ShardedStore):
         store = _RESOLVED.get(key)
         if store is None:
             store = _RESOLVED[key] = cls(root)
+        attach_remote(store)
         return store
 
     # -- loading -------------------------------------------------------
@@ -424,6 +510,11 @@ class SolveStore(ShardedStore):
     def get(self, key: str) -> int | None:
         self._ensure_loaded()
         value = self._values.get(key)
+        if value is None and self.remote is not None:
+            fetched = self._remote_fetch("solve", key)
+            if isinstance(fetched, int) and not isinstance(fetched, bool):
+                self._values[key] = fetched
+                value = fetched
         if value is None:
             self.stats.misses += 1
         else:
@@ -433,6 +524,10 @@ class SolveStore(ShardedStore):
     def get_artefact(self, key: str) -> object | None:
         self._ensure_loaded()
         value = self._artefacts.get(key)
+        if value is None and self.remote is not None:
+            value = self._remote_fetch("artefact", key)
+            if value is not None:
+                self._artefacts[key] = value
         if value is None:
             self.stats.misses += 1
         else:
@@ -447,6 +542,7 @@ class SolveStore(ShardedStore):
         self._values[key] = value
         if self._append("solve", key, value):
             self.stats.writes += 1
+        self._remote_push("solve", key, value)
 
     def put_artefact(self, key: str, value: object) -> None:
         self._ensure_loaded()
@@ -455,6 +551,7 @@ class SolveStore(ShardedStore):
         self._artefacts[key] = value
         if self._append("artefact", key, value):
             self.stats.writes += 1
+        self._remote_push("artefact", key, value)
 
     # -- maintenance ---------------------------------------------------
     def __len__(self) -> int:

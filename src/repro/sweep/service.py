@@ -313,7 +313,8 @@ def run_sweep(geometries=None, *,
               schedule: str = "cell",
               probability: float = TARGET_EXCEEDANCE,
               strict: bool = True,
-              retry: RetryPolicy | None = None) -> SweepResult:
+              retry: RetryPolicy | None = None,
+              pipeline_stats=None) -> SweepResult:
     """Estimate the whole suite at every grid cell.
 
     ``config`` carries the non-swept parameters (timing model, solver
@@ -348,6 +349,10 @@ def run_sweep(geometries=None, *,
     the sweep alive past a permanently-failing cell: the cell emits no
     design points and is listed in ``SweepResult.failed`` (the report
     annotates it) while every other cell completes normally.
+    ``pipeline_stats`` (a :class:`~repro.pipeline.scheduler
+    .PipelineStats`) scopes the driving scheduler's run — retry /
+    failure ledger and remote-store counters included — so the CLI
+    can surface degradation notes for sweeps like it does for suites.
     """
     from repro.experiments.runner import (FailedBenchmark, fresh_results,
                                           solver_totals)
@@ -408,7 +413,7 @@ def run_sweep(geometries=None, *,
             for cell, results in group:
                 finish(cell, results)
 
-        scheduler.run(on_task=group_done)
+        scheduler.run(stats=pipeline_stats, on_task=group_done)
     else:
         if workers is None and cell_workers > 1:
             # A single-geometry grid leaves nothing to fan out at cell
@@ -439,7 +444,7 @@ def run_sweep(geometries=None, *,
             finish(*value)
 
         with fresh_results():
-            scheduler.run(on_task=cell_done)
+            scheduler.run(stats=pipeline_stats, on_task=cell_done)
 
     # Deterministic assembly: grid order, regardless of completion order.
     points: list[DesignPoint] = []

@@ -44,6 +44,19 @@ Sites and their actions:
     :class:`~repro.errors.SolverError` — a *permanent* failure that
     quarantines the dependent subtree).
 
+``net``
+    Fires on the remote-store wire (:mod:`repro.remote`); ``target``
+    is the store schema directory (``v1``, ``classify-v1``,
+    ``cells-v2``) or ``*``.  Each action fires on exactly one side so
+    a clause's ordinals count one invocation stream: ``drop`` (the
+    client's request fails with a :class:`ConnectionError` before it
+    leaves — a dead or unreachable server) and ``delay=<seconds>``
+    (client-side latency before the request) arm the *client* hook;
+    ``short_read`` (the server advertises the full Content-Length but
+    sends only half the body) and ``corrupt`` (the server flips a
+    payload byte, exercising the client's checksum verification) arm
+    the *server* hook.
+
 ``#ordinal`` arms the clause for exactly the n-th (1-based) matching
 invocation; without it the clause fires every time.  Ordinals are
 counted per clause.  By default counters are per-process — pool
@@ -81,7 +94,15 @@ _ACTIONS = {
     "worker": ("kill", "delay", "raise"),
     "store": ("truncate_tail", "read_error"),
     "solve": ("delay", "fail"),
+    "net": ("drop", "delay", "short_read", "corrupt"),
 }
+
+#: ``net`` actions consumed by the client-side hook; the remaining
+#: ``net`` actions (``short_read``, ``corrupt``) are server-side.
+#: The split keeps each clause's ordinal counter on one invocation
+#: stream — a clause is never double-counted by both ends of the wire.
+_NET_CLIENT_ACTIONS = ("drop", "delay")
+_NET_SERVER_ACTIONS = ("short_read", "corrupt")
 
 _CLAUSE_RE = re.compile(
     r"^(?P<site>[a-z]+):(?P<action>[a-z_]+)"
@@ -241,3 +262,26 @@ def solve_hook(name: str) -> None:
         time.sleep(clause.value)
     elif clause.action == "fail":
         raise SolverError(f"injected solver fault ({name})")
+
+
+def net_client_hook(target: str) -> None:
+    """Injection point before each remote-store request leaves the
+    client; ``target`` is the store schema directory."""
+    clause = fire("net", target, actions=_NET_CLIENT_ACTIONS)
+    if clause is None:
+        return
+    if clause.action == "drop":
+        raise ConnectionError(
+            f"injected network fault: dropped request ({target})")
+    if clause.action == "delay":
+        time.sleep(clause.value)
+
+
+def net_server_hook(target: str) -> FaultClause | None:
+    """Injection point inside the shard server's response path.
+
+    Returns the armed clause (``short_read`` / ``corrupt``) so the
+    handler can mangle the response it was about to send; ``None``
+    sends it untouched.
+    """
+    return fire("net", target, actions=_NET_SERVER_ACTIONS)

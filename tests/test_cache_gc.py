@@ -140,6 +140,51 @@ class TestCli:
                      "--cache", str(tmp_path / "empty")]) == 0
         assert "nothing to compact" in capsys.readouterr().out
 
+    def test_cache_gc_reports_corrupt_line_recovery(self, tmp_path,
+                                                    capsys):
+        """Silent store repair made visible: torn/corrupt lines that
+        every reader skipped show up as an explicit recovery count, in
+        the dry run too."""
+        from repro.cli import main
+        store = SolveStore(tmp_path)
+        store.put(solve_key("ctx", [("x", 1)], False), 7)
+        store.close()
+        shard = next((tmp_path / "v1").glob("shard-*.jsonl"))
+        with shard.open("a") as handle:
+            handle.write('{"c":1,"k":"tampered","t":"solve","v":1}\n')
+            handle.write('{"torn half-li')  # a killed writer's tail
+        assert main(["cache", "gc", "--dry-run",
+                     "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "would drop 2 corrupt/torn line(s) " \
+               "recovered by re-computation" in out
+        assert main(["cache", "gc", "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "dropped 2 corrupt/torn line(s)" in out
+        # The repaired cache is clean: no recovery line on a re-run.
+        assert main(["cache", "gc", "--cache", str(tmp_path)]) == 0
+        assert "corrupt/torn" not in capsys.readouterr().out
+
+    def test_corrupt_recovery_counts_surface_in_stats_summary(
+            self, tmp_path):
+        """The estimator's ``stats_summary()`` exposes each store's
+        skipped-line count, so degraded shards are observable without
+        running gc."""
+        store = SolveStore(tmp_path)
+        store.put(solve_key("ctx", [("x", 1)], False), 7)
+        store.close()
+        shard = next((tmp_path / "v1").glob("shard-*.jsonl"))
+        with shard.open("a") as handle:
+            handle.write('{"torn half-li')
+        estimator = PWCETEstimator(load("fibcall"),
+                                   EstimatorConfig(cache=str(tmp_path)),
+                                   name="fibcall")
+        estimator.estimate("none")
+        summary = estimator.stats_summary()
+        assert summary["store_corrupt_skipped"] == 1
+        assert summary["classify_store_corrupt_skipped"] == 0
+        assert summary["cell_store_corrupt_skipped"] == 0
+
 
 class TestExportImport:
     """`repro cache export/import`: store sharing across machines."""

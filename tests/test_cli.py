@@ -96,3 +96,81 @@ class TestSweep:
     def test_cache_off_accepted(self, capsys):
         assert main(["estimate", "bs", "--cache", "off"]) == 0
         capsys.readouterr()
+
+
+class TestStageTimeoutParsing:
+    """``--stage-timeout`` specs must fail loudly: a silently dropped
+    budget would green-light an unsupervised overnight run."""
+
+    def retry(self, *specs, max_attempts=None):
+        import argparse
+
+        from repro.cli import _retry_from
+        return _retry_from(argparse.Namespace(
+            max_attempts=max_attempts, stage_timeout=list(specs)))
+
+    @pytest.mark.parametrize("spec", [
+        "bogus=2",          # unknown stage name
+        "Solve=2",          # names are case-sensitive, like the DAG's
+        "0", "-3", "solve=0", "solve=-1",  # non-positive seconds
+        "nan", "inf", "solve=nan",         # non-finite seconds
+        "solve=abc", "solve=", "",         # unparsable seconds
+    ])
+    def test_bad_specs_exit_with_a_message(self, spec):
+        with pytest.raises(SystemExit, match="--stage-timeout"):
+            self.retry(spec)
+
+    def test_unknown_stage_message_lists_the_real_stages(self):
+        with pytest.raises(SystemExit, match="sweep-cell"):
+            self.retry("bogus=2")
+
+    def test_repeated_flags_accumulate_per_stage(self):
+        policy = self.retry("solve=2.5", "classify=1.5", "10")
+        assert policy.timeout == 10.0
+        assert policy.stage_timeouts == {"solve": 2.5, "classify": 1.5}
+
+    def test_last_repeat_of_one_stage_wins(self):
+        policy = self.retry("solve=2.5", "solve=7")
+        assert policy.stage_timeouts == {"solve": 7.0}
+
+    def test_no_flags_mean_no_policy_override(self):
+        assert self.retry() is None
+
+    def test_bad_max_attempts_rejected(self):
+        with pytest.raises(SystemExit, match="--max-attempts"):
+            self.retry(max_attempts=0)
+
+
+class TestCacheEnvAlias:
+    def test_legacy_env_is_honoured_with_one_warning(self, monkeypatch,
+                                                     tmp_path):
+        from repro.solve import store as store_module
+
+        monkeypatch.delenv(store_module.CACHE_ENV, raising=False)
+        monkeypatch.setenv(store_module.LEGACY_CACHE_ENV,
+                           str(tmp_path / "legacy"))
+        monkeypatch.setattr(store_module, "_WARNED_LEGACY", False)
+        with pytest.warns(DeprecationWarning, match="REPRO_SOLVE_CACHE"):
+            assert store_module.cache_env_value() == \
+                str(tmp_path / "legacy")
+        # Once per process, not once per resolve.
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert store_module.cache_env_value() == \
+                str(tmp_path / "legacy")
+
+    def test_canonical_env_wins_silently(self, monkeypatch, tmp_path):
+        import warnings
+
+        from repro.solve import store as store_module
+
+        monkeypatch.setenv(store_module.CACHE_ENV,
+                           str(tmp_path / "canonical"))
+        monkeypatch.setenv(store_module.LEGACY_CACHE_ENV,
+                           str(tmp_path / "legacy"))
+        monkeypatch.setattr(store_module, "_WARNED_LEGACY", False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert store_module.cache_env_value() == \
+                str(tmp_path / "canonical")

@@ -145,3 +145,45 @@ class TestHooks:
     def test_unarmed_hooks_are_free_of_side_effects(self):
         worker_hook("cell_stage")
         solve_hook("ipet:crc")
+        faultinject.net_client_hook("v1")
+        assert faultinject.net_server_hook("v1") is None
+
+
+class TestNetSite:
+    def test_all_four_net_actions_parse(self):
+        clauses = parse_plan("net:drop@v1#1;net:delay=0.5@*;"
+                             "net:short_read@classify-v1;"
+                             "net:corrupt@cells-v2#3")
+        assert [(c.action, c.target, c.ordinal, c.value)
+                for c in clauses] == [
+            ("drop", "v1", 1, None), ("delay", "*", None, 0.5),
+            ("short_read", "classify-v1", None, None),
+            ("corrupt", "cells-v2", 3, None)]
+
+    def test_drop_raises_a_transient_connection_error(self, monkeypatch):
+        monkeypatch.setenv(PLAN_ENV, "net:drop@v1")
+        with pytest.raises(ConnectionError, match="injected network"):
+            faultinject.net_client_hook("v1")
+        faultinject.net_client_hook("classify-v1")  # other dirs fine
+
+    def test_delay_sleeps_client_side(self, monkeypatch):
+        naps = []
+        monkeypatch.setattr(faultinject.time, "sleep", naps.append)
+        monkeypatch.setenv(PLAN_ENV, "net:delay=0.125@v1")
+        faultinject.net_client_hook("v1")
+        assert naps == [0.125]
+
+    def test_server_actions_do_not_fire_client_side(self, monkeypatch):
+        """One clause, one invocation stream: a server-side action's
+        ordinal must never be consumed by the client hook (and vice
+        versa), or a chaos plan would fire on the wrong wire end."""
+        monkeypatch.setenv(PLAN_ENV, "net:corrupt@v1#1")
+        faultinject.net_client_hook("v1")  # no-op, counter untouched
+        clause = faultinject.net_server_hook("v1")
+        assert clause is not None and clause.action == "corrupt"
+
+    def test_client_actions_do_not_fire_server_side(self, monkeypatch):
+        monkeypatch.setenv(PLAN_ENV, "net:drop@v1#1")
+        assert faultinject.net_server_hook("v1") is None
+        with pytest.raises(ConnectionError):
+            faultinject.net_client_hook("v1")

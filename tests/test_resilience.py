@@ -70,6 +70,65 @@ class TestPolicy:
         assert classify_failure(SolverError("infeasible")) == PERMANENT
         assert classify_failure(ValueError("bad input")) == PERMANENT
 
+    def test_jittered_sleep_stays_within_the_backoff_envelope(self):
+        """``sleep_backoff`` samples uniformly *downward* from the
+        deterministic ceiling: never longer (no pile-up past the cap),
+        never below ``backoff * (1 - jitter)`` (still a real wait)."""
+        naps = []
+        rolls = iter((0.0, 1.0, 0.5))
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=10.0,
+                             jitter=0.5, rng=lambda: next(rolls),
+                             sleep=naps.append)
+        policy.sleep_backoff(1)  # roll 0.0: the full ceiling
+        policy.sleep_backoff(1)  # roll 1.0: the floor of the envelope
+        policy.sleep_backoff(2)  # roll 0.5: mid-envelope
+        assert naps == pytest.approx([0.1, 0.05, 0.15])
+        for nap, attempt in zip(naps, (1, 1, 2)):
+            ceiling = policy.backoff(attempt)
+            assert ceiling * (1 - policy.jitter) <= nap <= ceiling
+
+    def test_sleep_backoff_clamps_to_the_deadline(self):
+        """A retry sleep never overshoots the run's global deadline —
+        and sleeps not at all once the deadline has passed."""
+        naps = []
+        policy = RetryPolicy(backoff_base=10.0, backoff_cap=10.0,
+                             jitter=0.0, sleep=naps.append)
+        slept = policy.sleep_backoff(1, deadline=time.monotonic() + 0.2)
+        assert 0.0 < slept <= 0.2
+        assert naps == [slept]
+        # An expired deadline skips the sleep entirely.
+        assert policy.sleep_backoff(1,
+                                    deadline=time.monotonic() - 1.0) == 0.0
+        assert len(naps) == 1
+
+    def test_failure_report_round_trips_through_dicts(self):
+        from repro.pipeline.resilience import FailureReport
+        failure = TaskFailure(key="cell:crc:0", stage="cell",
+                              classification=TRANSIENT, attempts=3,
+                              error="injected network fault",
+                              elapsed=1.25, root_key="cell:crc:0")
+        cascaded = TaskFailure(key="estimate:crc", stage="estimate",
+                               classification=CASCADED, attempts=0,
+                               error="upstream quarantined",
+                               elapsed=0.0, root_key="cell:crc:0")
+        report = FailureReport(failures=[failure, cascaded], retries=4,
+                               timeouts=1, pool_rebuilds=2)
+        restored = FailureReport.from_dict(report.as_dict())
+        assert restored.as_dict() == report.as_dict()
+        assert restored.retries == 4
+        assert restored.timeouts == 1
+        assert restored.pool_rebuilds == 2
+        assert [f.key for f in restored.failures] == \
+            [f.key for f in report.failures]
+        restored_failure = restored.failures[0]
+        assert restored_failure == failure
+        assert restored_failure.classification == TRANSIENT
+        assert restored.failures[1].root_key == "cell:crc:0"
+        # A clean report survives the trip too, and stays ok.
+        clean = FailureReport.from_dict(FailureReport().as_dict())
+        assert clean.ok
+        assert clean.summary()["failed_tasks"] == 0
+
 
 def flaky(failures: int, error=ConnectionError):
     """A task body failing ``failures`` times before succeeding."""
@@ -87,7 +146,7 @@ class TestInlineRecovery:
     def test_transient_failures_retry_until_success(self):
         naps = []
         policy = RetryPolicy(backoff_base=0.1, backoff_cap=0.15,
-                             sleep=naps.append)
+                             jitter=0.0, sleep=naps.append)
         scheduler = PipelineScheduler(workers=1, retry=policy)
         scheduler.add("a", flaky(2))
         stats = PipelineStats()
