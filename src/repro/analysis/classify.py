@@ -5,16 +5,22 @@ requested associativity (the fault-aware pipeline needs every value
 from ``W`` down to ``0``), with the priority of the paper: always-hit
 beats first-miss beats always-miss beats not-classified.
 
-Two engines compute the underlying Must/May verdicts:
+Three engines compute the underlying Must/May verdicts:
 
-* ``"vector"`` (default) — the numpy age-vector engine of
+* ``"batch"`` (default) — the geometry-batched kernel of
+  :mod:`repro.analysis.geometry_batch`: for a single geometry it
+  behaves exactly like ``vector``; when the sweep hands a classify
+  stage a whole line-size group, ONE stacked Must/May fixpoint pair
+  (plus one shared SRB fixpoint) serves every geometry of the group;
+* ``"vector"`` — the numpy age-vector engine of
   :mod:`repro.analysis.vectorized`: one Must and one May fixpoint at
   the nominal associativity answer *every* degraded associativity by
-  age thresholding;
+  age thresholding; kept as the per-geometry oracle for the stacked
+  kernel;
 * ``"dict"`` — the classic per-set dict implementation
   (:class:`~repro.analysis.must.MustAnalysis` /
   :class:`~repro.analysis.may.MayAnalysis`), kept as the reference
-  oracle; it re-runs both fixpoints per associativity.
+  oracle beneath both; it re-runs both fixpoints per associativity.
 
 Select with the ``engine`` argument or ``REPRO_ANALYSIS_ENGINE``.
 Results are identical by construction (property-tested in
@@ -46,7 +52,7 @@ from repro.errors import AnalysisError
 
 #: Environment variable selecting the analysis engine.
 ENGINE_ENV = "REPRO_ANALYSIS_ENGINE"
-_ENGINES = ("vector", "dict")
+_ENGINES = ("batch", "vector", "dict")
 
 
 @dataclass
@@ -133,38 +139,58 @@ class CacheAnalysis:
     convention as the solve cache: ``None`` defers to
     ``REPRO_CACHE``, ``"off"`` disables, anything else is a
     directory).  ``engine`` picks the Must/May implementation
-    (``"vector"``/``"dict"``; default: ``REPRO_ANALYSIS_ENGINE``,
-    else ``"vector"``).
+    (``"batch"``/``"vector"``/``"dict"``; default:
+    ``REPRO_ANALYSIS_ENGINE``, else ``"batch"``).
+
+    :func:`~repro.analysis.geometry_batch.grouped_analysis` injects
+    the sharing plumbing of a line-size group through the keyword-only
+    hooks: precomputed ``references``, a shared ``stats`` sink, a
+    ``vector_engine`` facade (one geometry's slice of the stacked
+    engine) and an ``srb_supplier`` computing the group's single SRB
+    hit set.  Left at ``None``, every hook falls back to the
+    self-contained per-geometry behaviour.
     """
 
     def __init__(self, cfg: CFG, geometry: CacheGeometry,
                  forest: LoopForest | None = None, *,
                  cache: str | None = None,
-                 engine: str | None = None) -> None:
+                 engine: str | None = None,
+                 references: dict[int, tuple[Reference, ...]] | None = None,
+                 stats: AnalysisStats | None = None,
+                 vector_engine=None,
+                 srb_supplier=None) -> None:
         cfg.validate()
         self._cfg = cfg
         self._geometry = geometry
         self._forest = forest if forest is not None else find_loops(cfg)
-        self._references = all_references(cfg, geometry)
+        self._references = references if references is not None \
+            else all_references(cfg, geometry)
         #: Built lazily: a warm run decodes every table from the store
         #: and never needs the conflict-counting precomputation.
         self._persistence: PersistenceAnalysis | None = None
         self._tables: dict[int, ClassificationTable] = {}
         if engine is None:
-            # An empty/whitespace variable means unset, matching the
-            # REPRO_CACHE convention.
-            engine = (os.environ.get(ENGINE_ENV) or "").strip().lower() \
-                or "vector"
+            engine = self.selected_engine()
         if engine not in _ENGINES:
             raise AnalysisError(
                 f"unknown analysis engine {engine!r}; expected one of "
                 f"{_ENGINES}")
         self._engine_name = engine
-        self._vector: AgeVectorEngine | None = None
+        self._vector = vector_engine
+        self._srb_supplier = srb_supplier
         self._store = ClassificationStore.resolve(cache)
         self._digest: str | None = None
         self._srb_hits: frozenset[tuple[int, int]] | None = None
-        self.stats = AnalysisStats()
+        self.stats = stats if stats is not None else AnalysisStats()
+
+    @staticmethod
+    def selected_engine() -> str:
+        """The engine the environment selects (unset → ``"batch"``).
+
+        An empty/whitespace variable means unset, matching the
+        ``REPRO_CACHE`` convention.
+        """
+        return (os.environ.get(ENGINE_ENV) or "").strip().lower() or "batch"
 
     @property
     def cfg(self) -> CFG:
@@ -245,7 +271,13 @@ class CacheAnalysis:
                 self._srb_hits = hits
                 return hits
             self.stats.classify_store_misses += 1
-        if self._engine_name == "vector":
+        if self._srb_supplier is not None:
+            # Group-shared SRB: the supplier runs (and accounts) its
+            # single fixpoint on first demand; this geometry still did
+            # its own store probe above and writes through below, so
+            # store traffic matches the per-geometry path exactly.
+            hit_keys = list(self._srb_supplier())
+        elif self._engine_name != "dict":
             references = all_references(self._cfg, srb_geometry)
             engine = AgeVectorEngine(self._cfg, srb_geometry, references)
             hit_keys = [
@@ -335,22 +367,42 @@ class CacheAnalysis:
                 for block_id, references in self._references.items()
             }
             return ClassificationTable(assoc, table, self._references)
-        if self._engine_name == "vector":
+        if self._engine_name != "dict":
             verdicts = self._vector_verdicts(assoc)
         else:
             verdicts = self._dict_verdicts(assoc)
         table: dict[int, tuple[Classification, ...]] = {}
+        persistence = self.persistence
+        #: scope -> the (immutable) first-miss classification carrying
+        #: it — one object per scope instead of one per reference.
+        first_miss: dict[int, Classification] = {}
         for block_id, references in self._references.items():
             hits, cached = verdicts(block_id)
+            if not isinstance(hits, (tuple, list)):
+                # numpy verdict vectors: iterate plain Python bools.
+                hits, cached = hits.tolist(), cached.tolist()
             classifications = []
+            #: set index -> persistence scope.  Within one CFG block
+            #: the scope depends on the reference only through its set
+            #: (same loop chain), and consecutive fetches share lines
+            #: — so this collapses most scope queries.
+            scopes: dict[int, int | None] = {}
             for reference, hit, may_hit in zip(references, hits, cached):
                 if hit:
                     classifications.append(ALWAYS_HIT)
                     continue
-                scope = self.persistence.scope_of(reference, assoc)
+                set_index = reference.set_index
+                if set_index in scopes:
+                    scope = scopes[set_index]
+                else:
+                    scope = scopes[set_index] = persistence.scope_of(
+                        reference, assoc)
                 if scope is not None:
-                    classifications.append(
-                        Classification(chmc=Chmc.FIRST_MISS, scope=scope))
+                    classification = first_miss.get(scope)
+                    if classification is None:
+                        classification = first_miss[scope] = Classification(
+                            chmc=Chmc.FIRST_MISS, scope=scope)
+                    classifications.append(classification)
                 elif not may_hit:
                     classifications.append(ALWAYS_MISS)
                 else:

@@ -18,10 +18,60 @@ bound).
 
 from __future__ import annotations
 
+import weakref
+
 from repro.analysis.chmc import GLOBAL_SCOPE
 from repro.analysis.references import Reference, all_references
 from repro.cache import CacheGeometry
 from repro.cfg import CFG, LoopForest, find_loops
+
+#: CFG → (line size, set count) → (global conflicts, loop conflicts).
+#: The conflict maps are pure functions of those three inputs (the
+#: loop forest is itself a pure function of the CFG), so geometries
+#: sharing a set mapping — and repeated analyses of one geometry —
+#: share one precomputation.  Keyed by CFG identity, entries die with
+#: their CFG (same discipline as the reference-map memo).
+_CONFLICTS: "weakref.WeakKeyDictionary[CFG, dict]" = \
+    weakref.WeakKeyDictionary()
+
+
+def _conflict_maps(cfg: CFG, geometry: CacheGeometry,
+                   forest: LoopForest) -> tuple[dict, dict]:
+    per_cfg = _CONFLICTS.get(cfg)
+    if per_cfg is None:
+        per_cfg = _CONFLICTS[cfg] = {}
+    key = (geometry.block_bytes, geometry.sets)
+    maps = per_cfg.get(key)
+    if maps is not None:
+        return maps
+    # Distinct (set, memory block) pairs per CFG block first: scope
+    # aggregation then touches each distinct pair once per scope
+    # instead of walking every instruction fetch again.
+    references = all_references(cfg, geometry)
+    per_block = {
+        block_id: {(reference.set_index, reference.memory_block)
+                   for reference in refs}
+        for block_id, refs in references.items()}
+
+    def distinct_blocks(block_ids) -> dict[int, set[int]]:
+        per_set: dict[int, set[int]] = {}
+        for block_id in block_ids:
+            for set_index, memory_block in per_block[block_id]:
+                per_set.setdefault(set_index, set()).add(memory_block)
+        return per_set
+
+    global_conflicts = {
+        set_index: len(blocks)
+        for set_index, blocks in distinct_blocks(cfg.block_ids()).items()
+    }
+    loop_conflicts = {
+        header: {set_index: len(blocks)
+                 for set_index, blocks
+                 in distinct_blocks(loop.body).items()}
+        for header, loop in forest.loops.items()
+    }
+    maps = per_cfg[key] = (global_conflicts, loop_conflicts)
+    return maps
 
 
 class PersistenceAnalysis:
@@ -32,28 +82,10 @@ class PersistenceAnalysis:
         self._cfg = cfg
         self._geometry = geometry
         self._forest = forest if forest is not None else find_loops(cfg)
-        references = all_references(cfg, geometry)
-
-        def distinct_blocks(block_ids) -> dict[int, set[int]]:
-            per_set: dict[int, set[int]] = {}
-            for block_id in block_ids:
-                for reference in references[block_id]:
-                    per_set.setdefault(reference.set_index,
-                                       set()).add(reference.memory_block)
-            return per_set
-
-        #: set index -> #distinct memory blocks over the whole program.
-        self._global_conflicts = {
-            set_index: len(blocks)
-            for set_index, blocks in distinct_blocks(cfg.block_ids()).items()
-        }
-        #: loop header -> set index -> #distinct memory blocks in body.
-        self._loop_conflicts = {
-            header: {set_index: len(blocks)
-                     for set_index, blocks
-                     in distinct_blocks(loop.body).items()}
-            for header, loop in self._forest.loops.items()
-        }
+        #: set index -> #distinct memory blocks over the whole program,
+        #: and loop header -> set index -> #distinct blocks in body.
+        self._global_conflicts, self._loop_conflicts = _conflict_maps(
+            cfg, geometry, self._forest)
 
     @property
     def forest(self) -> LoopForest:

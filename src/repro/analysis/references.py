@@ -5,10 +5,27 @@ the instruction.  A reference is identified by its position in the
 CFG — (block id, index within block) — because virtual inlining means
 the same address can appear in several contexts with different
 classifications.
+
+The (address → memory block) walk depends on the geometry only through
+the line size (``block_of`` shifts by the block offset bits), while
+the set mapping depends on the set count too.  The walk is therefore
+memoised per (CFG, line size): a geometry sweep extracting references
+for many geometries of one line-size group pays for the block stream
+once and recomputes only the per-geometry set mapping.  The built
+:func:`all_references` maps are memoised one level up, per (CFG, line
+size, set count) — a geometry sweep asks for the same reference map
+from several places (the classification engine, the persistence
+analysis, the SRB pre-analysis) and for several geometries that share
+a set mapping, and :class:`Reference` is frozen, so one shared map
+serves them all.  Callers must treat the returned dict as immutable.
+Both memos are keyed by CFG *identity* (a ``WeakKeyDictionary`` —
+entries die with their CFG), matching the analyses' contract that a
+CFG is frozen once analysis starts.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 from repro.cache import CacheGeometry
@@ -31,22 +48,66 @@ class Reference:
         return (self.block_id, self.index)
 
 
+#: CFG → line size → block id → ((address, memory block), ...).
+_STREAMS: "weakref.WeakKeyDictionary[CFG, dict]" = \
+    weakref.WeakKeyDictionary()
+
+
+def _block_streams(cfg: CFG, geometry: CacheGeometry
+                   ) -> dict[int, tuple[tuple[int, int], ...]]:
+    """The memoised (address, memory block) stream of every block."""
+    per_cfg = _STREAMS.get(cfg)
+    if per_cfg is None:
+        per_cfg = _STREAMS[cfg] = {}
+    streams = per_cfg.get(geometry.block_bytes)
+    if streams is None:
+        offset_bits = geometry.offset_bits
+        streams = {
+            block_id: tuple(
+                (instruction.address, instruction.address >> offset_bits)
+                for instruction in cfg.block(block_id).instructions)
+            for block_id in cfg.block_ids()}
+        per_cfg[geometry.block_bytes] = streams
+    return streams
+
+
 def block_references(cfg: CFG, geometry: CacheGeometry,
                      block_id: int) -> tuple[Reference, ...]:
     """The references issued by one basic block, in fetch order."""
-    block = cfg.block(block_id)
-    references = []
-    for index, instruction in enumerate(block.instructions):
-        memory_block = geometry.block_of(instruction.address)
-        references.append(Reference(
-            block_id=block_id, index=index, address=instruction.address,
-            memory_block=memory_block,
-            set_index=geometry.set_of_block(memory_block)))
-    return tuple(references)
+    set_mask = geometry.sets - 1
+    return tuple(
+        Reference(block_id=block_id, index=index, address=address,
+                  memory_block=memory_block,
+                  set_index=memory_block & set_mask)
+        for index, (address, memory_block)
+        in enumerate(_block_streams(cfg, geometry)[block_id]))
+
+
+#: CFG → (line size, set count) → the built ``all_references`` map.
+_REFERENCES: "weakref.WeakKeyDictionary[CFG, dict]" = \
+    weakref.WeakKeyDictionary()
 
 
 def all_references(cfg: CFG,
                    geometry: CacheGeometry) -> dict[int, tuple[Reference, ...]]:
-    """References of every block, keyed by block id."""
-    return {block_id: block_references(cfg, geometry, block_id)
-            for block_id in cfg.block_ids()}
+    """References of every block, keyed by block id.
+
+    The returned map is shared between callers (memoised per
+    (CFG, line size, set count)) and must not be mutated.
+    """
+    per_cfg = _REFERENCES.get(cfg)
+    if per_cfg is None:
+        per_cfg = _REFERENCES[cfg] = {}
+    key = (geometry.block_bytes, geometry.sets)
+    references = per_cfg.get(key)
+    if references is None:
+        streams = _block_streams(cfg, geometry)
+        set_mask = geometry.sets - 1
+        references = per_cfg[key] = {
+            block_id: tuple(
+                Reference(block_id=block_id, index=index, address=address,
+                          memory_block=memory_block,
+                          set_index=memory_block & set_mask)
+                for index, (address, memory_block) in enumerate(stream))
+            for block_id, stream in streams.items()}
+    return references

@@ -146,16 +146,35 @@ class AgeVectorEngine:
             np.add(segment, segment < old, out=segment, casting="unsafe")
             state[index] = 0
 
-    def _transfer(self, block_id: int, state: np.ndarray) -> np.ndarray:
-        state = state.copy()
+    def _transfer_full(self, state: np.ndarray, block_id: int) -> None:
+        """Apply the whole access sequence of ``block_id`` in place."""
         for start, stop, index, repeat, _seg in self._accesses[block_id]:
             if not repeat:
                 self._apply(state, start, stop, index)
+
+    def _transfer_partial(self, state: np.ndarray, block_id: int,
+                          todo) -> None:
+        """Apply only the accesses touching the pending segments."""
+        for start, stop, index, repeat, seg in self._accesses[block_id]:
+            if not repeat and seg in todo:
+                self._apply(state, start, stop, index)
+
+    def _transfer(self, block_id: int, state: np.ndarray) -> np.ndarray:
+        state = state.copy()
+        self._transfer_full(state, block_id)
         return state
+
+    def _initial_state(self) -> np.ndarray:
+        """The all-absent entry state (sentinel ``W`` everywhere).
+
+        Overridable: the stacked multi-geometry engine fills each
+        geometry's segments with that geometry's own sentinel.
+        """
+        return np.full(self._size, self._ways, dtype=self._dtype)
 
     def _solve(self, join) -> dict[int, np.ndarray]:
         self.fixpoints_run += 1
-        initial = np.full(self._size, self._ways, dtype=self._dtype)
+        initial = self._initial_state()
         if not self._segments:
             # No references at all: the generic solver handles the
             # trivial graph without any per-set machinery.
@@ -215,20 +234,14 @@ class AgeVectorEngine:
                 # Whole state pending: one vectorised join + transfer.
                 new_out = self._in_state_full(block_id, initial, join,
                                               predecessors, out_states)
-                for start, stop, index, repeat, _seg in \
-                        self._accesses[block_id]:
-                    if not repeat:
-                        self._apply(new_out, start, stop, index)
+                self._transfer_full(new_out, block_id)
             else:
                 # Converged segments keep their previous OUT slices;
                 # only pending segments pay join + transfer work.
                 new_out = old_out.copy()
                 self._in_segments(block_id, todo, initial, join,
                                   predecessors, out_states, new_out)
-                for start, stop, index, repeat, seg in \
-                        self._accesses[block_id]:
-                    if not repeat and seg in todo:
-                        self._apply(new_out, start, stop, index)
+                self._transfer_partial(new_out, block_id, todo)
             if old_out is None:
                 changed = todo
             else:

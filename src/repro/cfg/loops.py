@@ -98,6 +98,7 @@ class LoopForest:
         # Order memberships innermost-first for quick scope lookups.
         for block_id, headers in self._membership.items():
             headers.sort(key=lambda h: -loops[h].depth)
+        self._chains: dict[int, tuple[Loop, ...]] = {}
 
     @property
     def loops(self) -> dict[int, Loop]:
@@ -112,8 +113,12 @@ class LoopForest:
 
     def loops_containing(self, block_id: int) -> tuple[Loop, ...]:
         """Loops containing ``block_id``, innermost first."""
-        return tuple(self._loops[h]
-                     for h in self._membership.get(block_id, ()))
+        chain = self._chains.get(block_id)
+        if chain is None:
+            chain = self._chains[block_id] = tuple(
+                self._loops[h]
+                for h in self._membership.get(block_id, ()))
+        return chain
 
     def enclosing_chain(self, block_id: int) -> tuple[Loop, ...]:
         """Alias of :meth:`loops_containing` (innermost-first chain)."""

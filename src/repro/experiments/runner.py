@@ -102,6 +102,7 @@ def run_suite(config: EstimatorConfig | None = None, *,
               pipeline_stats: PipelineStats | None = None,
               schedule: str = "cell",
               batch_pfails=None,
+              batch_geometries=None,
               strict: bool = True,
               retry: RetryPolicy | None = None
               ) -> list[BenchmarkResult | FailedBenchmark]:
@@ -120,7 +121,10 @@ def run_suite(config: EstimatorConfig | None = None, *,
     results are bit-identical either way.  ``batch_pfails``
     (mechanism → pfail axis; cell schedule only) lets each cell stage
     prefill its sibling pfail rows through the batched distribution
-    kernel — the sweep's axis amortisation; see
+    kernel — the sweep's axis amortisation — and ``batch_geometries``
+    (the line-size group of ``config.geometry``; cell schedule only)
+    lets each classify stage prefill its sibling geometries' tables
+    through the geometry-batched stacked kernel; see
     :func:`~repro.pipeline.stages.benchmark_dag`.
 
     Resilience: transient faults (killed workers, broken pools) are
@@ -143,6 +147,7 @@ def run_suite(config: EstimatorConfig | None = None, *,
                                   workers=workers, stats=pipeline_stats,
                                   schedule=schedule,
                                   batch_pfails=batch_pfails,
+                                  batch_geometries=batch_geometries,
                                   strict=strict, retry=retry)
         for name in pending:
             value = computed[name]

@@ -167,6 +167,18 @@ class PipelineStats:
         alongside running cells and prefilled into the cell store."""
         return int(self.counters.get("dist_batched_rows", 0))
 
+    @property
+    def classify_batched_rows(self) -> int:
+        """Sibling geometries the stacked classification kernel served
+        alongside running classify stages (tables + SRB hit sets
+        prefilled into the classification store)."""
+        return int(self.counters.get("classify_batched_rows", 0))
+
+    @property
+    def geometry_groups(self) -> int:
+        """Line-size groups whose classify stages ran batched."""
+        return int(self.counters.get("geometry_groups", 0))
+
 
 def _remote_totals() -> dict[str, int]:
     """Process-wide remote-store counters (empty without a remote).

@@ -143,14 +143,39 @@ def classification_artifact(analysis: CacheAnalysis, name: str,
 
 
 def classify_stage(name: str, config, mechanisms=SUITE_MECHANISMS,
-                   carry_tables: bool = True) -> ClassificationArtifact:
+                   carry_tables: bool = True,
+                   batch_geometries=()) -> ClassificationArtifact:
     """Stage task: full classification stage of one suite benchmark.
 
     As a pool task (``carry_tables=True``) the artifact embeds the
     store-encoded tables; inline it hands the analysis object over
     directly, so the estimation stage reuses it with zero re-decoding.
+
+    ``batch_geometries`` (lead geometry first; empty = unbatched) is
+    the geometry-batched kernel's fan-in, the classification analogue
+    of the cell stage's ``batch_rows``: every listed geometry shares
+    this benchmark's line size, so ONE stacked Must/May fixpoint pair
+    classifies all of them at once
+    (:func:`~repro.analysis.geometry_batch.grouped_analysis`) and the
+    sibling geometries' tables + SRB hit sets are written through the
+    classification store under their own content addresses — the
+    siblings' classify stages then decode them as warm hits.  Each
+    table is byte-identical to an unbatched computation, so batching
+    never changes a result.
     """
     program = load(name)
+    if len(batch_geometries) > 1:
+        from repro.analysis.geometry_batch import grouped_analysis
+
+        analysis = grouped_analysis(program.cfg, batch_geometries,
+                                    mechanisms, cache=config.cache)
+        # The batching counters (classify_batched_rows /
+        # geometry_groups, presence-gated like dist_batched_rows)
+        # travel on the group's shared stats object, so both the
+        # inline analysis hand-off and the pooled artifact surface
+        # them.
+        return classification_artifact(analysis, name, mechanisms,
+                                       carry_tables=carry_tables)
     analysis = CacheAnalysis(program.cfg, config.geometry,
                              cache=config.cache)
     return classification_artifact(analysis, name, mechanisms,
@@ -403,7 +428,8 @@ def benchmark_dag(scheduler: PipelineScheduler, name: str, config,
                   target_probability: float, *,
                   mechanisms=SUITE_MECHANISMS, pool: bool = False,
                   estimator_workers: int = 1, cell_store=None,
-                  batch_pfails=None, prefix: str = "") -> str:
+                  batch_pfails=None, batch_geometries=None,
+                  classify_store=None, prefix: str = "") -> str:
     """Add one benchmark's cell-granular DAG; returns the result key.
 
     classify → solve → one cell per (mechanism, ``config.pfail``) →
@@ -422,14 +448,40 @@ def benchmark_dag(scheduler: PipelineScheduler, name: str, config,
     .derive_key` digests the plan pass probes — so ``--only-cells``
     filtering and incremental invalidation behave as without batching.
     Requires ``cell_store`` (prefilled rows must land somewhere).
+
+    ``batch_geometries`` (the benchmark's line-size group, e.g. the
+    sweep's geometry axis at this line size) does the same for the
+    classify stage: its cold work fans in over every *store-missing*
+    geometry of the group — one stacked fixpoint pair classifies them
+    all and the siblings' tables are prefilled into the classification
+    store under their own content addresses.  Requires
+    ``classify_store`` (the same read/write-through handle the stage
+    resolves); like the pfail batch, it is assembled from exactly the
+    per-geometry :func:`~repro.analysis.store.classification_key`
+    digests a sibling's stage would probe.
     """
     from repro.pipeline.cellstore import decode_cell
 
-    context = store_context(load(name).cfg.digest(), config.geometry,
-                            config.timing)
+    digest = load(name).cfg.digest()
+    context = store_context(digest, config.geometry, config.timing)
+    batch_group = ()
+    if batch_geometries and classify_store is not None:
+        group = [config.geometry]
+        for geometry in batch_geometries:
+            # Only store-missing siblings enter the batch — a geometry
+            # another run (or an earlier group lead) already persisted
+            # costs nothing to keep.  The probe is raw store access,
+            # not an analysis lookup, so it counts no stage traffic.
+            if geometry == config.geometry:
+                continue
+            key = classification_key(digest, geometry, geometry.ways)
+            if classify_store.get(key) is None:
+                group.append(geometry)
+        if len(group) > 1:
+            batch_group = tuple(group)
     classify_key = scheduler.add(
         f"{prefix}classify:{name}", classify_stage,
-        args=(name, config, tuple(mechanisms), pool),
+        args=(name, config, tuple(mechanisms), pool, batch_group),
         stage="classify", pool=pool)
     solve_key = scheduler.add(
         f"{prefix}solve:{name}", solve_stage,
@@ -490,6 +542,7 @@ def suite_pipeline(benchmarks, config, target_probability: float, *,
                    schedule: str = "cell",
                    mechanisms=SUITE_MECHANISMS,
                    batch_pfails=None,
+                   batch_geometries=None,
                    strict: bool = True,
                    retry: "RetryPolicy | None" = None
                    ) -> dict[str, object]:
@@ -517,8 +570,10 @@ def suite_pipeline(benchmarks, config, target_probability: float, *,
     ``mechanisms`` restricts the estimated set (cell schedule only —
     the reference schedule always estimates the paper's three).
     ``batch_pfails`` (mechanism → pfail axis) opts the cell stages
-    into the batched distribution kernel's pfail-axis fan-in; see
-    :func:`benchmark_dag`.
+    into the batched distribution kernel's pfail-axis fan-in, and
+    ``batch_geometries`` (the line-size group of ``config.geometry``)
+    opts the classify stages into the geometry-batched stacked kernel;
+    see :func:`benchmark_dag`.
     """
     # Dedupe while preserving order: a repeated benchmark name is one
     # task (and one result entry), exactly like the memoised runner.
@@ -558,13 +613,22 @@ def suite_pipeline(benchmarks, config, target_probability: float, *,
             # this process live in shards the memoised handle has not
             # seen; fold them in before the plan pass probes.
             cell_store.refresh()
+        classify_store = None
+        if batch_geometries:
+            from repro.analysis.store import ClassificationStore
+
+            classify_store = ClassificationStore.resolve(config.cache)
+            if classify_store is not None:
+                classify_store.refresh()
         result_keys = {
             name: benchmark_dag(scheduler, name, config,
                                 target_probability,
                                 mechanisms=mechanisms, pool=pool,
                                 estimator_workers=estimator_workers,
                                 cell_store=cell_store,
-                                batch_pfails=batch_pfails)
+                                batch_pfails=batch_pfails,
+                                batch_geometries=batch_geometries,
+                                classify_store=classify_store)
             for name in benchmarks}
         results = scheduler.run(stats=stats)
     suite = {}

@@ -15,14 +15,23 @@ the persistent cell store — the remaining grid columns are then
 answered whole from their content addresses, never touching solver,
 analysis or convolution again.
 
+The geometry axis of classification is batched the same way: the
+grid's geometries fall into *line-size groups* (same memory-block
+stream per CFG), and each benchmark's first cold classify stage of a
+group runs ONE stacked Must/May fixpoint pair serving every geometry
+of the group (:mod:`repro.analysis.geometry_batch`), prefilling the
+sibling geometries' tables into the classification store.
+
 Execution goes through the unified pipeline scheduler
 (:class:`~repro.pipeline.scheduler.PipelineScheduler`): sequentially
 the grid cells run as inline DAG tasks in grid order; with
 ``run_sweep(cell_workers=N)`` / ``repro sweep --workers N`` whole
-geometry groups become pool tasks on the scheduler's shared worker
-pool.  Cells are grouped by geometry so the pfail-axis reuse stays
-in-process, the two disk stores dedup across workers, and completed
-cells *stream* back through the ``on_cell`` callback as they finish —
+line-size groups become pool tasks on the scheduler's shared worker
+pool.  Cells are grouped so both reuse axes stay in-process (and all
+of a group's store keys inside one task — parallel sweeps do the same
+store traffic as sequential ones), the two disk stores dedup across
+workers, and completed cells *stream* back through the ``on_cell``
+callback as they finish —
 the CLI renders incremental progress while the final report stays
 byte-identical to the sequential path (results are assembled in
 deterministic grid order, and each worker computes exactly what the
@@ -239,7 +248,7 @@ def _batch_pfails(selection):
 
 def _run_cell_suite(cell_config, benchmarks, workers, probability,
                     mechanisms, schedule, batch_pfails=None,
-                    strict=True, retry=None):
+                    batch_geometries=None, strict=True, retry=None):
     """One cell's suite run, memo-bypassing when mechanism-filtered.
 
     The runner memo keys results by (benchmark, config, probability)
@@ -255,6 +264,7 @@ def _run_cell_suite(cell_config, benchmarks, workers, probability,
         return run_suite(cell_config, benchmarks=benchmarks,
                          workers=workers, target_probability=probability,
                          schedule=schedule, batch_pfails=batch_pfails,
+                         batch_geometries=batch_geometries,
                          strict=strict, retry=retry)
     from repro.pipeline.resilience import TaskFailure
     from repro.pipeline.stages import suite_pipeline
@@ -265,6 +275,7 @@ def _run_cell_suite(cell_config, benchmarks, workers, probability,
                               workers=workers, schedule=schedule,
                               mechanisms=mechanisms,
                               batch_pfails=batch_pfails,
+                              batch_geometries=batch_geometries,
                               strict=strict, retry=retry)
     return [FailedBenchmark(name=name, failure=computed[name])
             if isinstance(computed[name], TaskFailure)
@@ -272,33 +283,71 @@ def _run_cell_suite(cell_config, benchmarks, workers, probability,
             for name in benchmarks]
 
 
-def _run_cell_group(item):
-    """Pool entry point: every pfail cell of one geometry, in order.
+def _geometry_groups(geometries):
+    """The grid's line-size groups, in first-appearance order.
 
-    Grouping by geometry keeps the pfail-axis reuse (shared ILP
-    objectives and classification tables) inside one process: the
-    first cell populates the stores, the remaining columns read them
-    back from the shared in-memory handles.  ``inner_workers`` is the
-    leftover pool width the cell fan-out did not consume (fewer
-    geometry groups than ``cell_workers``); > 1 fans benchmarks of
-    each cell out a second level, so no requested worker idles.
+    Geometries of one group share the memory-block stream of every
+    CFG (``block_of`` depends only on the line size), which is what
+    the stacked classification kernel batches over — and what makes
+    the group the right pool fan-out unit: all of a group's
+    classification store keys stay inside one task, so parallel
+    sweeps do the same store traffic as sequential ones.
     """
-    (geometry, selection, benchmarks, config, probability,
+    groups: dict[int, list] = {}
+    for geometry in geometries:
+        groups.setdefault(geometry.block_bytes, []).append(geometry)
+    return tuple(tuple(group) for group in groups.values())
+
+
+def _inner_width(group_count: int, cell_workers: int, workers) -> int:
+    """Benchmark fan-out width inside each concurrently-running group.
+
+    Width not consumed by the group fan-out goes to benchmark fan-out
+    inside each group (bit-identical either way); an explicit
+    ``workers`` request asks for at least that inner width — but the
+    *product* of concurrent groups × inner workers is capped at
+    ``cell_workers``, so a wide grid can never oversubscribe the
+    requested budget (the pre-cap formula divided by the geometry
+    count and multiplied across groups).
+    """
+    concurrent = min(group_count, cell_workers)
+    inner = max(workers or 1, cell_workers // concurrent)
+    if concurrent * inner > cell_workers:
+        inner = max(1, cell_workers // concurrent)
+    return inner
+
+
+def _run_cell_group(item):
+    """Pool entry point: every cell of one line-size group, in order.
+
+    Grouping keeps both reuse axes inside one process: the pfail axis
+    (shared ILP objectives and classification tables of one geometry)
+    and the geometry axis (one stacked fixpoint pair classifies the
+    whole group; the sibling geometries' cells read the prefilled
+    tables back through the shared in-memory store handles).
+    ``inner_workers`` is the leftover pool width the group fan-out did
+    not consume; > 1 fans benchmarks of each cell out a second level,
+    so no requested worker idles.
+    """
+    (group, selection, benchmarks, config, probability,
      inner_workers, schedule, strict, retry) = item
     from repro.experiments.runner import fresh_results
 
     batch_pfails = _batch_pfails(selection) if schedule == "cell" else None
+    batch_geometries = group \
+        if schedule == "cell" and len(group) > 1 else None
     cells = []
     with fresh_results():
-        for pfail, point_mechanisms in selection.items():
-            cell_config = replace(config, geometry=geometry, pfail=pfail,
-                                  workers=1)
-            results = _run_cell_suite(
-                cell_config, benchmarks, inner_workers, probability,
-                _estimation_mechanisms(point_mechanisms), schedule,
-                batch_pfails, strict, retry)
-            cells.append((SweepCell(geometry=geometry, pfail=pfail),
-                          results))
+        for geometry in group:
+            for pfail, point_mechanisms in selection.items():
+                cell_config = replace(config, geometry=geometry,
+                                      pfail=pfail, workers=1)
+                results = _run_cell_suite(
+                    cell_config, benchmarks, inner_workers, probability,
+                    _estimation_mechanisms(point_mechanisms), schedule,
+                    batch_pfails, batch_geometries, strict, retry)
+                cells.append((SweepCell(geometry=geometry, pfail=pfail),
+                              results))
     return cells
 
 
@@ -321,8 +370,9 @@ def run_sweep(geometries=None, *,
     mode, cache selector, default worker width); its geometry and
     pfail are overridden per cell.  ``workers`` fans *benchmarks* of
     one cell over a pool (sequential cell order); ``cell_workers > 1``
-    fans whole geometry groups of cells out instead, with the
-    persistent stores as the cross-process dedup.  ``on_cell`` is
+    fans whole line-size groups of cells out instead (the stacked
+    classification kernel's batching unit), with the persistent stores
+    as the cross-process dedup.  ``on_cell`` is
     invoked as ``on_cell(cell, points, completed, total)`` for every
     finished cell — in grid order sequentially, in completion order
     under ``cell_workers`` — so callers can stream the report.
@@ -392,31 +442,30 @@ def run_sweep(geometries=None, *,
         if on_cell is not None:
             on_cell(cell, points_by_cell[cell], completed, len(cells))
 
-    if cell_workers > 1 and len(geometries) > 1:
-        # Width not consumed by the cell fan-out goes to benchmark
-        # fan-out inside each group (bit-identical either way); an
-        # explicit `workers` request keeps at least that inner width.
-        inner_workers = max(workers or 1, cell_workers // len(geometries))
+    groups = _geometry_groups(geometries)
+    group_of = {geometry: group for group in groups for geometry in group}
+    if cell_workers > 1 and len(groups) > 1:
+        inner_workers = _inner_width(len(groups), cell_workers, workers)
         scheduler = PipelineScheduler(
             workers=cell_workers,
             retry=retry if retry is not None else DEFAULT_RETRY_POLICY,
             strict=strict)
-        for position, geometry in enumerate(geometries):
+        for position, group in enumerate(groups):
             scheduler.add(
                 f"cells:{position}", _run_cell_group,
-                args=((geometry, selection, benchmarks, config,
+                args=((group, selection, benchmarks, config,
                        probability, inner_workers, schedule, strict,
                        retry),),
                 stage="sweep-cells", pool=True)
 
-        def group_done(_key, group, _completed, _total):
-            for cell, results in group:
+        def group_done(_key, group_cells, _completed, _total):
+            for cell, results in group_cells:
                 finish(cell, results)
 
         scheduler.run(stats=pipeline_stats, on_task=group_done)
     else:
         if workers is None and cell_workers > 1:
-            # A single-geometry grid leaves nothing to fan out at cell
+            # A single-group grid leaves nothing to fan out at group
             # level; spend the requested width on benchmarks instead
             # of silently dropping it.
             workers = cell_workers
@@ -429,13 +478,18 @@ def run_sweep(geometries=None, *,
         for position, cell in enumerate(cells):
             cell_config = replace(config, geometry=cell.geometry,
                                   pfail=cell.pfail)
+            cell_group = group_of[cell.geometry]
+            batch_geometries = cell_group \
+                if schedule == "cell" and len(cell_group) > 1 else None
 
-            def run_cell(cell=cell, cell_config=cell_config):
+            def run_cell(cell=cell, cell_config=cell_config,
+                         batch_geometries=batch_geometries):
                 mechanisms = _estimation_mechanisms(selection[cell.pfail])
                 return (cell, _run_cell_suite(cell_config, benchmarks,
                                               workers, probability,
                                               mechanisms, schedule,
-                                              batch_pfails, strict,
+                                              batch_pfails,
+                                              batch_geometries, strict,
                                               retry))
 
             scheduler.add(f"cell:{position}", run_cell, stage="sweep-cell")

@@ -152,9 +152,12 @@ class TestEngineMechanics:
         monkeypatch.setenv(ENGINE_ENV, "dict")
         assert CacheAnalysis(cfg, GEOMETRIES[0],
                              cache="off").engine_name == "dict"
-        monkeypatch.delenv(ENGINE_ENV)
+        monkeypatch.setenv(ENGINE_ENV, "vector")
         assert CacheAnalysis(cfg, GEOMETRIES[0],
                              cache="off").engine_name == "vector"
+        monkeypatch.delenv(ENGINE_ENV)
+        assert CacheAnalysis(cfg, GEOMETRIES[0],
+                             cache="off").engine_name == "batch"
 
     def test_unknown_engine_rejected(self):
         cfg = load("fibcall").cfg

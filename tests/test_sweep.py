@@ -188,6 +188,70 @@ class TestParallelSweep:
         assert {cell for cell, *_ in seen} == set(result.cells())
         assert sorted(completed for _, completed, _ in seen) == [1, 2]
 
+    @pytest.mark.parametrize("cell_workers", (1, 4))
+    def test_batched_engine_report_matches_vector(self, tmp_path,
+                                                  monkeypatch,
+                                                  cell_workers):
+        """The geometry-batched kernel changes no output byte.
+
+        Two line-size groups, so ``cell_workers=4`` exercises the
+        parallel group fan-out.  Only the physical fixpoint count may
+        differ between the engines — the batching orchestration (store
+        traffic, prefilled siblings, tables) is engine-independent.
+        """
+        from repro.analysis.classify import ENGINE_ENV
+
+        geometries = geometry_grid(sizes=(512, 1024), ways=(2,),
+                                   lines=(16, 32))
+        kwargs = dict(pfails=(1e-4,), benchmarks=("fibcall", "bs"),
+                      cell_workers=cell_workers)
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        batched = run_sweep(
+            geometries,
+            config=EstimatorConfig(cache=str(tmp_path / "batch")),
+            **kwargs)
+        monkeypatch.setenv(ENGINE_ENV, "vector")
+        vector = run_sweep(
+            geometries,
+            config=EstimatorConfig(cache=str(tmp_path / "vector")),
+            **kwargs)
+        assert format_sweep_report(batched) == \
+            format_sweep_report(vector)
+        assert batched.points == vector.points
+        batch_totals = dict(batched.solver_totals)
+        vector_totals = dict(vector.solver_totals)
+        # One stacked pair per (benchmark, group) vs one pair per
+        # (benchmark, geometry): 2x fewer with groups of two.
+        assert batch_totals.pop("fixpoints_run") * 2 == \
+            vector_totals.pop("fixpoints_run")
+        assert batch_totals == vector_totals
+        # Each benchmark batched one sibling geometry per group.
+        assert batched.solver_totals["classify_batched_rows"] == 2 * 2
+        assert batched.solver_totals["geometry_groups"] == 2 * 2
+
+    def test_parallel_cap_never_oversubscribes(self):
+        """Product of group fan-out x inner workers <= cell_workers.
+
+        The pre-cap formula divided the width by the *geometry* count
+        and honoured an explicit ``workers`` request unconditionally —
+        so e.g. 4 groups x workers=4 under cell_workers=4 spawned 16
+        concurrent benchmark tasks."""
+        from repro.sweep.service import _inner_width
+
+        for group_count in (1, 2, 3, 4, 8):
+            for cell_workers in (1, 2, 3, 4, 8):
+                for workers in (None, 1, 2, 4, 8):
+                    inner = _inner_width(group_count, cell_workers,
+                                         workers)
+                    assert inner >= 1
+                    assert min(group_count, cell_workers) * inner \
+                        <= cell_workers
+        # The oversubscription case from the issue: the explicit
+        # workers request no longer multiplies across groups.
+        assert _inner_width(4, 4, 4) == 1
+        # Leftover width still flows inward when groups are few.
+        assert _inner_width(2, 8, None) == 4
+
     def test_cli_sweep_workers_streams_progress(self, tmp_path, capsys):
         from repro.cli import main
         assert main(["sweep", "--sizes", "512", "--ways", "2",
